@@ -1,0 +1,38 @@
+"""Ablation: co-location buffer width (Figure 4 sensitivity).
+
+The paper does not publish its ArcGIS buffer width; this sweep shows how
+the road/rail co-location fractions depend on it.
+"""
+
+from repro.analysis.geography import geography_report
+from repro.analysis.report import format_table
+
+BUFFERS_KM = (5.0, 15.0, 30.0)
+
+
+def _sweep(scenario):
+    rows = []
+    for buffer_km in BUFFERS_KM:
+        report = geography_report(
+            scenario.constructed_map, scenario.network, buffer_km=buffer_km
+        )
+        rows.append(
+            (
+                f"{buffer_km:.0f} km",
+                f"{report.mean_fraction('road'):.2f}",
+                f"{report.mean_fraction('rail'):.2f}",
+                f"{report.mean_fraction('road_or_rail'):.2f}",
+                f"{report.road_beats_rail_fraction:.0%}",
+            )
+        )
+    return rows
+
+
+def test_ablation_buffer(benchmark, scenario, report_output):
+    rows = benchmark.pedantic(_sweep, args=(scenario,), rounds=1, iterations=1)
+    text = format_table(
+        ("buffer", "road", "rail", "road|rail", "road>rail"),
+        rows,
+        title="Ablation: buffer width vs mean co-location fraction",
+    )
+    report_output("ablation_buffer", text)

@@ -1,0 +1,49 @@
+"""Ablation: public-records coverage vs pipeline accuracy (§2 sensitivity).
+
+How much of the paper's map quality depends on how much of the conduit
+system public records happen to document?  Sweep the corpus coverage and
+measure conduit/tenancy recall of the constructed map.
+"""
+
+from repro.analysis.report import format_table
+from repro.fibermap.pipeline import MapConstructionPipeline
+from repro.fibermap.records import generate_records
+
+COVERAGES = (0.3, 0.6, 0.88)
+
+
+def _sweep(scenario):
+    rows = []
+    for coverage in COVERAGES:
+        corpus = generate_records(
+            scenario.ground_truth, seed=scenario.seed + 2, coverage=coverage
+        )
+        pipeline = MapConstructionPipeline(
+            scenario.ground_truth,
+            provider_maps=scenario.provider_maps,
+            corpus=corpus,
+        )
+        _, report = pipeline.run()
+        accuracy = report.accuracy
+        rows.append(
+            (
+                f"{coverage:.0%}",
+                len(corpus),
+                f"{accuracy.conduit_recall:.1%}",
+                f"{accuracy.tenancy_recall:.1%}",
+                f"{accuracy.step3_path_exact:.1%}",
+                report.inferred_tenancies,
+            )
+        )
+    return rows
+
+
+def test_ablation_records(benchmark, scenario, report_output):
+    rows = benchmark.pedantic(_sweep, args=(scenario,), rounds=1, iterations=1)
+    text = format_table(
+        ("coverage", "documents", "conduit recall", "tenancy recall",
+         "step3 exact", "inferred tenancies"),
+        rows,
+        title="Ablation: records coverage vs constructed-map accuracy",
+    )
+    report_output("ablation_records", text)

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_annotated experiment module."""
+
+from repro.experiments import ext_annotated
+
+
+def test_ext_annotated(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_annotated.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_annotated", ext_annotated.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_capacity experiment module."""
+
+from repro.experiments import ext_capacity
+
+
+def test_ext_capacity(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_capacity.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_capacity", ext_capacity.format_result(result))

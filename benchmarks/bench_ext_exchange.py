@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_exchange experiment module."""
+
+from repro.experiments import ext_exchange
+
+
+def test_ext_exchange(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_exchange.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_exchange", ext_exchange.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_growth experiment module."""
+
+from repro.experiments import ext_growth
+
+
+def test_ext_growth(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_growth.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_growth", ext_growth.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_nsfnet experiment module."""
+
+from repro.experiments import ext_nsfnet
+
+
+def test_ext_nsfnet(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_nsfnet.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_nsfnet", ext_nsfnet.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_opacity experiment module."""
+
+from repro.experiments import ext_opacity
+
+
+def test_ext_opacity(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_opacity.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_opacity", ext_opacity.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_partition experiment module."""
+
+from repro.experiments import ext_partition
+
+
+def test_ext_partition(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_partition.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_partition", ext_partition.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_policy experiment module."""
+
+from repro.experiments import ext_policy
+
+
+def test_ext_policy(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_policy.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_policy", ext_policy.format_result(result))

@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_protection experiment module."""
+
+from repro.experiments import ext_protection
+
+
+def test_ext_protection(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_protection.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_protection", ext_protection.format_result(result))

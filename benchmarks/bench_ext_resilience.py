@@ -1,0 +1,10 @@
+"""Extension benchmark: delegate to the ext_resilience experiment module."""
+
+from repro.experiments import ext_resilience
+
+
+def test_ext_resilience(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        ext_resilience.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("ext_resilience", ext_resilience.format_result(result))

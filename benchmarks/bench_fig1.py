@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 1: the constructed long-haul map."""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig1.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig1", fig1.format_result(result))

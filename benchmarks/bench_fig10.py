@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 10: path inflation and shared-risk reduction."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig10.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig10", fig10.format_result(result))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 11 (improvement vs k added conduits).
+
+The full sweep (20 providers, k = 1..10 greedy steps) is the heaviest
+experiment in the suite; it is benchmarked as a single round.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig11.run, args=(scenario,), kwargs={"max_k": 10},
+        rounds=1, iterations=1,
+    )
+    report_output("fig11", fig11.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 12: propagation delay CDFs."""
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig12.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig12", fig12.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figures 2-3: road and rail layers."""
+
+from repro.experiments import fig2_3
+
+
+def test_fig2_3(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig2_3.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig2_3", fig2_3.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4: transport co-location."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig4.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig4", fig4.format_result(result))

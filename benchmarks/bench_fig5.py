@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5: pipeline rights-of-way."""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig5.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig5", fig5.format_result(result))

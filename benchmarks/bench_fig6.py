@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6: conduits shared by >= k ISPs."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig6.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig6", fig6.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7: ISP ranking by average sharing."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig7.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig7", fig7.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8: Hamming risk-profile similarity."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig8.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig8", fig8.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9: sharing CDF with traffic overlay."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        fig9.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("fig9", fig9.format_result(result))

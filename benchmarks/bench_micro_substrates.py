@@ -1,0 +1,88 @@
+"""Microbenchmarks: the substrate hot paths, timed properly.
+
+Unlike the experiment benches (one round each — they regenerate paper
+artifacts), these exercise the small operations that dominate large
+runs: great-circle math, polyline queries, grid lookups, traceroute
+simulation, and risk-matrix construction.
+"""
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.polyline import Polyline
+from repro.geo.vectorized import haversine_km_batch, segment_distances_km
+from repro.risk.matrix import RiskMatrix
+
+NYC = GeoPoint(40.71, -74.01)
+LA = GeoPoint(34.05, -118.24)
+
+
+def test_micro_haversine(benchmark):
+    result = benchmark(haversine_km, NYC, LA)
+    assert 3800 < result < 4100
+
+
+def test_micro_haversine_batch_10k(benchmark):
+    rng = np.random.default_rng(7)
+    lat = rng.uniform(25, 49, 10000)
+    lon = rng.uniform(-124, -67, 10000)
+
+    def run():
+        return haversine_km_batch(lat, lon, lat[::-1], lon[::-1])
+
+    result = benchmark(run)
+    assert result.shape == (10000,)
+
+
+def test_micro_segment_distances_1k(benchmark):
+    rng = np.random.default_rng(9)
+    lat_a = rng.uniform(25, 49, 1000)
+    lon_a = rng.uniform(-124, -67, 1000)
+    lat_b = lat_a + rng.uniform(-1, 1, 1000)
+    lon_b = lon_a + rng.uniform(-1, 1, 1000)
+
+    def run():
+        return segment_distances_km(NYC, lat_a, lon_a, lat_b, lon_b)
+
+    result = benchmark(run)
+    assert result.shape == (1000,)
+
+
+def test_micro_polyline_resample(benchmark, scenario):
+    conduit = max(
+        scenario.constructed_map.conduits.values(), key=lambda c: c.length_km
+    )
+    samples = benchmark(conduit.geometry.resample, 10.0)
+    assert len(samples) > 10
+
+
+def test_micro_grid_query(benchmark, scenario):
+    index = scenario.network.corridor_index()
+    point = GeoPoint(39.5, -98.0)
+    benchmark(index.kinds_near, point, 15.0)
+
+
+def test_micro_traceroute(benchmark, scenario):
+    engine = scenario.probe_engine
+    topology = scenario.topology
+    src = topology.cities_of("Comcast")[0]
+    dst = next(c for c in topology.cities_of("Level 3") if c != src)
+    # Warm the per-destination cache, then measure steady-state traces.
+    engine.trace(src, "Comcast", dst, "Level 3")
+    record = benchmark(engine.trace, src, "Comcast", dst, "Level 3")
+    assert record.reached
+
+
+def test_micro_risk_matrix_build(benchmark, scenario):
+    fiber_map = scenario.constructed_map
+    isps = list(scenario.isps)
+    matrix = benchmark(RiskMatrix, fiber_map, isps)
+    assert matrix.shape[0] == 20
+
+
+def test_micro_row_shortest_path(benchmark, scenario):
+    network = scenario.network
+    path, km = benchmark(
+        network.row_shortest_path, "Seattle, WA", "Miami, FL"
+    )
+    assert km > 3000

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1: step-1 provider map sizes."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        table1.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("table1", table1.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Tables 2-3: most-probed conduits."""
+
+from repro.experiments import table2_3
+
+
+def test_table2_3(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        table2_3.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("table2_3", table2_3.format_result(result))

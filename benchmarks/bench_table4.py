@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 4: ISPs by conduits carrying traffic."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        table4.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("table4", table4.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 5: peering suggestions."""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, scenario, report_output):
+    result = benchmark.pedantic(
+        table5.run, args=(scenario,), rounds=1, iterations=1
+    )
+    report_output("table5", table5.format_result(result))

@@ -1,0 +1,36 @@
+"""Benchmark fixtures: the full-size scenario and output capture.
+
+Each benchmark regenerates one paper table/figure, times it, prints the
+rows/series, and persists them under ``benchmarks/output/`` so the
+paper-vs-measured comparison survives the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import Scenario
+
+#: Full-size campaign for the traffic benchmarks.
+BENCH_CAMPAIGN_TRACES = 20000
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    return Scenario(seed=2015, campaign_traces=BENCH_CAMPAIGN_TRACES)
+
+
+@pytest.fixture(scope="session")
+def report_output():
+    """Writer that persists and echoes each experiment's artifact."""
+    output_dir = Path(__file__).parent / "output"
+    output_dir.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        banner = "=" * 72
+        print(f"\n{banner}\n{text}\n{banner}")
+
+    return write

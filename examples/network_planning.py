@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Network planning: where should new conduits go, and what do they buy?
+
+Exercises the §5.2 conduit-addition optimizer and the §5.3 latency
+machinery for a provider (default: Tata): which unused rights-of-way are
+worth trenching, how much shared risk they remove, and how close the
+provider's deployed paths already sit to the ROW/LOS bounds.
+
+Usage: python network_planning.py [ISP-NAME]
+"""
+
+import sys
+
+from repro import us2015
+from repro.analysis.report import format_table
+from repro.mitigation.augmentation import candidate_new_edges, improvement_curve
+from repro.mitigation.latency import latency_study
+
+
+def main() -> None:
+    isp = sys.argv[1] if len(sys.argv) > 1 else "Tata"
+    scenario = us2015(campaign_traces=2000)
+    fiber_map = scenario.constructed_map
+    network = scenario.network
+
+    candidates = candidate_new_edges(fiber_map, network)
+    print(
+        f"unused primary rights-of-way available for new conduits: "
+        f"{len(candidates)}"
+    )
+
+    result = improvement_curve(fiber_map, network, isp, max_k=6)
+    print(f"\n=== conduit additions for {isp} ===")
+    print(f"baseline traffic-weighted shared risk: {result.baseline_risk:.2f}")
+    rows = []
+    for k, ratio in result.curve:
+        edge = (
+            f"{result.added_edges[k - 1][0]} - {result.added_edges[k - 1][1]}"
+            if k <= len(result.added_edges)
+            else "(no helpful candidate)"
+        )
+        rows.append((k, f"{ratio:.1%}", edge))
+    print(
+        format_table(
+            ("k", "improvement", "k-th conduit added"),
+            rows,
+            title="greedy additions (Figure 11 machinery)",
+        )
+    )
+
+    study = latency_study(fiber_map, network, max_pairs=150)
+    print("\n=== propagation-delay reality check (Figure 12 machinery) ===")
+    print(f"city pairs studied: {len(study.pairs)}")
+    print(
+        f"deployed best path already the best-ROW path: "
+        f"{study.fraction_best_is_row_best:.0%}"
+    )
+    p50, p75 = study.row_los_gap_percentiles((50.0, 75.0))
+    print(
+        f"ROW vs line-of-sight gap: median {p50 * 1000:.0f} us, "
+        f"p75 {p75 * 1000:.0f} us"
+    )
+    slowest = sorted(
+        study.pairs, key=lambda p: -(p.avg_ms - p.best_ms)
+    )[:5]
+    print(
+        format_table(
+            ("pair", "best ms", "avg ms", "ROW ms", "LOS ms"),
+            [
+                (
+                    f"{p.pair[0]} - {p.pair[1]}",
+                    f"{p.best_ms:.2f}",
+                    f"{p.avg_ms:.2f}",
+                    f"{p.row_ms:.2f}",
+                    f"{p.los_ms:.2f}",
+                )
+                for p in slowest
+            ],
+            title="pairs with the most circuitous alternative paths",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Resilience drill: cuts, disasters, attacks, and backup planning.
+
+Extends the paper's analysis (its stated future work): assess a backhoe
+cut of the riskiest conduit, a regional disaster, a targeted attack
+against the most-shared rights-of-way vs random cuts, and SRLG-diverse
+backup planning for a provider.
+"""
+
+from repro import us2015
+from repro.analysis.report import format_table
+from repro.geo.coords import GeoPoint
+from repro.resilience import (
+    assess_cut,
+    conduit_cut,
+    disaster_cut,
+    random_cut_study,
+    targeted_attack,
+)
+from repro.resilience.montecarlo import mean_final_disconnected
+from repro.risk.metrics import most_shared_conduits
+from repro.routing.backup import plan_backup, protection_report
+
+
+def main() -> None:
+    scenario = us2015(campaign_traces=2000)
+    fiber_map = scenario.constructed_map
+    matrix = scenario.risk_matrix
+
+    print("=== backhoe cut of the most-shared conduit ===")
+    conduit_id, tenants = most_shared_conduits(matrix, top=1)[0]
+    conduit = fiber_map.conduit(conduit_id)
+    impact = assess_cut(fiber_map, conduit_cut(fiber_map, conduit_id),
+                        scenario.overlay)
+    print(f"{conduit.edge[0]} - {conduit.edge[1]} ({tenants} tenants)")
+    print(
+        f"providers affected: {impact.isps_affected}, links hit: "
+        f"{impact.total_links_hit}, POP pairs disconnected: "
+        f"{impact.total_pairs_disconnected}, probe traffic crossing: "
+        f"{impact.probes_affected}"
+    )
+
+    print("\n=== regional disaster: Salt Lake City, 120 km radius ===")
+    event = disaster_cut(fiber_map, GeoPoint(40.76, -111.89), 120.0,
+                         description="Wasatch fault event")
+    impact = assess_cut(fiber_map, event)
+    print(
+        f"{event.size} conduits severed; providers affected: "
+        f"{impact.isps_affected}; disconnected POP pairs: "
+        f"{impact.total_pairs_disconnected}"
+    )
+
+    print("\n=== targeted attack vs random cuts (5 ROW cuts) ===")
+    attack = targeted_attack(fiber_map, matrix, cuts=5)
+    random_runs = random_cut_study(fiber_map, cuts=5, trials=5)
+    print(
+        format_table(
+            ("cuts", "targeted disconnected", "targeted ISPs harmed"),
+            [
+                (i + 1, attack.cumulative_disconnected[i],
+                 attack.cumulative_isps_harmed[i])
+                for i in range(len(attack.events))
+            ],
+            title="an adversary who reads the map",
+        )
+    )
+    print(
+        f"random baseline (mean over 5 trials): "
+        f"{mean_final_disconnected(random_runs):.1f} disconnected pairs"
+    )
+
+    print("\n=== SRLG-diverse backup planning (Sprint) ===")
+    diverse, shared, unprotected = protection_report(
+        fiber_map, "Sprint", max_pairs=60
+    )
+    print(
+        f"of 60 Sprint link pairs: {diverse} fully risk-diverse, "
+        f"{shared} protected with shared risk groups, "
+        f"{unprotected} unprotected"
+    )
+    pair = sorted({l.endpoints for l in fiber_map.links_of("Sprint")})[0]
+    plan = plan_backup(fiber_map, "Sprint", *pair)
+    if plan and plan.protected:
+        print(
+            f"example {plan.endpoints}: primary {plan.primary_delay_ms:.2f} ms, "
+            f"backup {plan.backup_delay_ms:.2f} ms, "
+            f"shared groups: {len(plan.shared_groups)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

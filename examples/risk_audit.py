@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Shared-risk audit for one provider (default: Sprint).
+
+The workflow a network planner would run with this library: where does
+my network share trenches with everyone else, who looks like me in risk
+terms, and what would the §5.1 robustness suggestion have me do about
+the worst conduits?
+
+Usage: python risk_audit.py [ISP-NAME]
+"""
+
+import sys
+
+from repro import us2015
+from repro.analysis.report import format_table
+from repro.mitigation.peering import peering_candidates_for_isp
+from repro.mitigation.robustness import optimize_isp_around_conduits
+from repro.risk.hamming import hamming_distance
+from repro.risk.metrics import isp_ranking
+
+
+def main() -> None:
+    isp = sys.argv[1] if len(sys.argv) > 1 else "Sprint"
+    scenario = us2015(campaign_traces=2000)
+    fiber_map = scenario.constructed_map
+    matrix = scenario.risk_matrix
+    if isp not in matrix.isps:
+        raise SystemExit(f"unknown ISP {isp!r}; choose from {matrix.isps}")
+
+    print(f"=== Shared-risk audit: {isp} ===\n")
+    ranking = isp_ranking(matrix)
+    position = next(i for i, row in enumerate(ranking) if row.isp == isp)
+    row = ranking[position]
+    print(
+        f"average conduit sharing: {row.average:.2f} ISPs "
+        f"(rank {position + 1}/{len(ranking)}, p25={row.p25:.0f}, "
+        f"p75={row.p75:.0f}, over {row.num_conduits} conduits)"
+    )
+
+    neighbors = sorted(
+        (
+            (other, hamming_distance(matrix, isp, other))
+            for other in matrix.isps
+            if other != isp
+        ),
+        key=lambda kv: kv[1],
+    )
+    print("\nclosest risk profiles (low Hamming distance = high mutual risk):")
+    for other, distance in neighbors[:5]:
+        print(f"  {other}: {distance}")
+
+    worst = sorted(
+        (c for c in fiber_map.conduits.values() if isp in c.tenants),
+        key=lambda c: -c.num_tenants,
+    )[:8]
+    print()
+    print(
+        format_table(
+            ("conduit", "tenants", "km"),
+            [
+                (f"{c.edge[0]} - {c.edge[1]}", c.num_tenants, round(c.length_km))
+                for c in worst
+            ],
+            title=f"most-shared conduits in {isp}'s footprint",
+        )
+    )
+
+    suggestion = optimize_isp_around_conduits(fiber_map, matrix, isp)
+    print(
+        f"\nrobustness suggestion over the 12 most-shared conduits: "
+        f"{len(suggestion.outcomes)} reroutes, "
+        f"avg path inflation {suggestion.avg_pi:.1f} hops, "
+        f"avg shared-risk reduction {suggestion.avg_srr:.1f}"
+    )
+
+    peers = peering_candidates_for_isp(fiber_map, matrix, isp)
+    names = " | ".join(p for p, _ in peers) if peers else "(none)"
+    print(f"suggested peers (Table 5 style): {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Traceroute campaign study (§4.3): overlay probes onto the conduit map.
+
+Runs a fresh campaign, prints a sample traceroute the way a measurement
+host sees it, then the Table 2/4 style summaries and the extra providers
+inferred from naming hints — conduits are riskier than the map alone
+suggests.
+"""
+
+from repro import us2015
+from repro.analysis.report import format_table
+from repro.traceroute import (
+    CampaignConfig,
+    GeolocationDatabase,
+    TrafficOverlay,
+    run_campaign,
+)
+
+
+def main() -> None:
+    scenario = us2015(campaign_traces=2000)
+    topology = scenario.topology
+
+    print("=== a single simulated traceroute ===")
+    src_city = topology.cities_of("Comcast")[0]
+    dst_city = next(c for c in topology.cities_of("Level 3") if c != src_city)
+    print(f"{src_city} (Comcast) -> {dst_city} (Level 3)")
+    record = scenario.probe_engine.trace(src_city, "Comcast", dst_city, "Level 3")
+    for i, hop in enumerate(record.hops, start=1):
+        print(f"{i:2d}  {hop.ip:15s}  {hop.dns_name:40s}  {hop.rtt_ms:6.2f} ms")
+
+    print("\n=== campaign overlay ===")
+    records = run_campaign(topology, CampaignConfig(num_traces=4000, seed=7))
+    database = GeolocationDatabase(topology)
+    overlay = TrafficOverlay(scenario.constructed_map, topology, database)
+    overlay.add_traces(records)
+    print(
+        f"traces: {overlay.traces_processed}, "
+        f"unresolvable hops: {overlay.hops_unresolved}"
+    )
+
+    rows = [
+        (a, b, count)
+        for (a, b), count in overlay.top_conduits("west_to_east", 10)
+    ]
+    print()
+    print(
+        format_table(
+            ("Location", "Location", "# probes"),
+            rows,
+            title="most probed conduits, west-origin east-bound (Table 2 style)",
+        )
+    )
+
+    print()
+    print(
+        format_table(
+            ("ISP", "# conduits"),
+            overlay.isp_conduit_usage()[:10],
+            title="providers by conduits carrying traffic (Table 4 style)",
+        )
+    )
+
+    inferred = [
+        (cid, sorted(overlay.inferred_additional_isps(cid)))
+        for cid in scenario.constructed_map.conduits
+        if overlay.inferred_additional_isps(cid)
+    ]
+    inferred.sort(key=lambda kv: -len(kv[1]))
+    print("\nconduits with the most providers inferred beyond the map:")
+    for cid, extras in inferred[:5]:
+        conduit = scenario.constructed_map.conduit(cid)
+        print(
+            f"  {conduit.edge[0]} - {conduit.edge[1]}: "
+            f"{conduit.num_tenants} mapped + {len(extras)} inferred "
+            f"({', '.join(extras[:6])}{'...' if len(extras) > 6 else ''})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Map analyses: geography (§3), connectivity (Figure 1), reporting."""
+
+from repro.analysis.connectivity import ConnectivityReport, connectivity_report
+from repro.analysis.geography import (
+    GeographyReport,
+    geography_report,
+    non_transport_conduits,
+)
+from repro.analysis.report import (
+    format_cdf,
+    format_histogram,
+    format_table,
+)
+
+__all__ = [
+    "GeographyReport",
+    "geography_report",
+    "non_transport_conduits",
+    "ConnectivityReport",
+    "connectivity_report",
+    "format_table",
+    "format_histogram",
+    "format_cdf",
+]

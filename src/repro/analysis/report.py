@@ -1,0 +1,74 @@
+"""Plain-text rendering of tables, histograms, and CDFs.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output consistent and
+readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII histogram (Figure 4 style)."""
+    peak = max(counts) if counts else 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for left, count in zip(edges, counts):
+        bar = "#" * (0 if peak == 0 else round(width * count / max(1, peak)))
+        lines.append(f"[{left:4.2f}) {count:5d} {bar}")
+    return "\n".join(lines)
+
+
+def format_cdf(
+    series: Sequence[Tuple[float, float]],
+    title: str = "",
+    points: int = 11,
+) -> str:
+    """Compact CDF summary at evenly spaced fractions."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    for i in range(points):
+        target = i / (points - 1)
+        value = None
+        for x, fraction in series:
+            if fraction >= target:
+                value = x
+                break
+        if value is None:
+            value = series[-1][0]
+        lines.append(f"p{int(target * 100):3d}: {value}")
+    return "\n".join(lines)

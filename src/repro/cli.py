@@ -1,0 +1,352 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            list every registered table/figure
+``run <id> [...]``         run experiments and print their artifacts
+``map [--geojson PATH]``   render the constructed map (ASCII), optionally
+                           exporting GeoJSON
+``layers``                 render the road and rail layers (ASCII)
+``audit <ISP>``            shared-risk audit for one provider
+``cut <cityA> <cityB>``    assess a right-of-way cut between two cities
+
+Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.scenario import Scenario, us2015
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InterTubes (SIGCOMM 2015) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--traces", type=int, default=5000,
+        help="traceroute campaign size (traffic analyses)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+
+    map_cmd = sub.add_parser("map", help="render the constructed map")
+    map_cmd.add_argument("--geojson", metavar="PATH", default=None)
+    map_cmd.add_argument("--width", type=int, default=100)
+
+    sub.add_parser("layers", help="render road and rail layers")
+
+    audit = sub.add_parser("audit", help="shared-risk audit for one ISP")
+    audit.add_argument("isp")
+
+    cut = sub.add_parser("cut", help="assess a right-of-way cut")
+    cut.add_argument("city_a")
+    cut.add_argument("city_b")
+
+    annotate = sub.add_parser(
+        "annotate", help="export the traffic/delay-annotated map"
+    )
+    annotate.add_argument("--geojson", metavar="PATH", default=None)
+
+    pareto = sub.add_parser(
+        "pareto", help="risk-latency Pareto frontier between two cities"
+    )
+    pareto.add_argument("city_a")
+    pareto.add_argument("city_b")
+    pareto.add_argument("--isp", default=None)
+
+    backup = sub.add_parser(
+        "backup", help="SRLG-diverse backup plan for an ISP and city pair"
+    )
+    backup.add_argument("isp")
+    backup.add_argument("city_a")
+    backup.add_argument("city_b")
+
+    sub.add_parser(
+        "partition", help="minimum west-east cuts (and the undersea bypass)"
+    )
+
+    exchange = sub.add_parser(
+        "exchange", help="plan jointly funded conduits (the §6.3 model)"
+    )
+    exchange.add_argument("--conduits", type=int, default=5)
+    return parser
+
+
+def _cmd_experiments() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for experiment_id in sorted(EXPERIMENTS):
+        print(f"{experiment_id:10s} {EXPERIMENTS[experiment_id].title}")
+    return 0
+
+
+def _cmd_run(scenario: Scenario, ids: List[str]) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    chosen = sorted(EXPERIMENTS) if ids == ["all"] else ids
+    for experiment_id in chosen:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment: {experiment_id}", file=sys.stderr)
+            return 2
+        _, text = run_experiment(experiment_id, scenario)
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_map(scenario: Scenario, geojson: Optional[str], width: int) -> int:
+    from repro.analysis.render import render_fiber_map
+    from repro.fibermap.serialization import fiber_map_to_geojson
+
+    fiber_map = scenario.constructed_map
+    print(render_fiber_map(fiber_map, width=width))
+    print(f"\n{fiber_map.stats()}")
+    if geojson:
+        with open(geojson, "w", encoding="utf-8") as handle:
+            json.dump(fiber_map_to_geojson(fiber_map), handle)
+        print(f"GeoJSON written to {geojson}")
+    return 0
+
+
+def _cmd_layers(scenario: Scenario) -> int:
+    from repro.analysis.render import render_transport
+
+    for kind, title in (("road", "Roadway layer"), ("rail", "Railway layer")):
+        print(f"--- {title} ---")
+        print(render_transport(scenario.network, kind))
+        print()
+    return 0
+
+
+def _cmd_audit(scenario: Scenario, isp: str) -> int:
+    from repro.mitigation.robustness import optimize_isp_around_conduits
+    from repro.risk.metrics import isp_ranking
+
+    matrix = scenario.risk_matrix
+    if isp not in matrix.isps:
+        print(
+            f"unknown ISP {isp!r}; known: {', '.join(matrix.isps)}",
+            file=sys.stderr,
+        )
+        return 2
+    ranking = isp_ranking(matrix)
+    position = next(i for i, r in enumerate(ranking) if r.isp == isp)
+    row = ranking[position]
+    print(
+        f"{isp}: average sharing {row.average:.2f} "
+        f"(rank {position + 1}/{len(ranking)}), "
+        f"{row.num_conduits} conduits"
+    )
+    suggestion = optimize_isp_around_conduits(
+        scenario.constructed_map, matrix, isp
+    )
+    print(
+        f"robustness suggestion: {len(suggestion.outcomes)} reroutes, "
+        f"avg PI {suggestion.avg_pi:.1f}, avg SRR {suggestion.avg_srr:.1f}"
+    )
+    return 0
+
+
+def _cmd_cut(scenario: Scenario, city_a: str, city_b: str) -> int:
+    from repro.resilience import assess_cut, edge_cut
+
+    fiber_map = scenario.constructed_map
+    try:
+        event = edge_cut(fiber_map, city_a, city_b)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    impact = assess_cut(fiber_map, event, scenario.overlay)
+    print(f"{event.description}: {event.size} conduit(s) severed")
+    print(
+        f"providers affected: {impact.isps_affected}; links hit: "
+        f"{impact.total_links_hit}; POP pairs disconnected: "
+        f"{impact.total_pairs_disconnected}; probes crossing: "
+        f"{impact.probes_affected}"
+    )
+    for item in impact.per_isp:
+        if item.links_hit == 0:
+            continue
+        print(
+            f"  {item.isp}: {item.links_hit} links, "
+            f"{item.pairs_disconnected} disconnected, reroute "
+            f"+{item.mean_reroute_delay_ms:.2f} ms avg"
+        )
+    from repro.resilience import traffic_shift
+
+    shift = traffic_shift(
+        scenario.topology, event, scenario.campaign, max_traces=800
+    )
+    print(
+        f"traffic shift: {shift.affected_fraction:.1%} of traces affected, "
+        f"mean +{shift.mean_inflation_ms:.2f} ms, "
+        f"{shift.traces_blackholed} black-holed"
+    )
+    return 0
+
+
+def _cmd_annotate(scenario: Scenario, geojson: Optional[str]) -> int:
+    from repro.analysis.report import format_table
+    from repro.fibermap.annotate import annotate_map, annotated_geojson
+
+    annotated = annotate_map(scenario.constructed_map, scenario.overlay)
+    print(
+        format_table(
+            ("conduit", "tenants", "class", "probes", "delay ms"),
+            [
+                (
+                    f"{a.endpoints[0]} - {a.endpoints[1]}",
+                    a.tenants,
+                    a.risk_class,
+                    a.probes_total,
+                    f"{a.delay_ms:.2f}",
+                )
+                for a in annotated.busiest(top=12)
+            ],
+            title="busiest conduits (annotated map)",
+        )
+    )
+    critical = annotated.critical()
+    print(f"critical-risk conduits: {len(critical)} of {len(annotated)}")
+    if geojson:
+        with open(geojson, "w", encoding="utf-8") as handle:
+            json.dump(
+                annotated_geojson(scenario.constructed_map, annotated), handle
+            )
+        print(f"annotated GeoJSON written to {geojson}")
+    return 0
+
+
+def _cmd_pareto(
+    scenario: Scenario, city_a: str, city_b: str, isp: Optional[str]
+) -> int:
+    from repro.analysis.report import format_table
+    from repro.routing.pareto import pareto_paths
+
+    options = pareto_paths(scenario.constructed_map, city_a, city_b, isp=isp)
+    if not options:
+        print(f"no path between {city_a} and {city_b}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            ("delay ms", "max tenants", "total tenants", "hops"),
+            [
+                (f"{o.delay_ms:.2f}", o.max_risk, o.total_risk, o.num_hops)
+                for o in options
+            ],
+            title=f"risk-latency frontier: {city_a} <-> {city_b}"
+            + (f" ({isp})" if isp else ""),
+        )
+    )
+    return 0
+
+
+def _cmd_backup(scenario: Scenario, isp: str, city_a: str, city_b: str) -> int:
+    from repro.routing import plan_backup
+
+    plan = plan_backup(scenario.constructed_map, isp, city_a, city_b)
+    if plan is None:
+        print(f"{isp} cannot connect {city_a} and {city_b}", file=sys.stderr)
+        return 2
+    print(
+        f"primary: {len(plan.primary_conduits)} conduits, "
+        f"{plan.primary_delay_ms:.2f} ms"
+    )
+    if not plan.protected:
+        print("backup: none available (unprotected pair)")
+        return 0
+    print(
+        f"backup:  {len(plan.backup_conduits)} conduits, "
+        f"{plan.backup_delay_ms:.2f} ms"
+    )
+    if plan.fully_diverse:
+        print("fully risk-diverse: no shared trenches")
+    else:
+        shared = "; ".join(f"{a} - {b}" for a, b in sorted(plan.shared_groups))
+        print(f"WARNING shared trenches: {shared}")
+    return 0
+
+
+def _cmd_partition(scenario: Scenario) -> int:
+    from repro.resilience import partition_report
+
+    report = partition_report(scenario.constructed_map)
+    print(f"minimum west-east right-of-way cuts: {report.min_cuts}")
+    for a, b in report.cut_edges:
+        print(f"  {a} - {b}")
+    if report.partitionable_with_undersea:
+        print(f"with undersea bypass: {report.min_cuts_with_undersea}")
+    else:
+        print("with undersea bypass: partitioning impossible")
+    return 0
+
+
+def _cmd_exchange(scenario: Scenario, num_conduits: int) -> int:
+    from repro.analysis.report import format_table
+    from repro.mitigation.exchange import plan_exchange
+
+    conduits = plan_exchange(
+        scenario.constructed_map,
+        scenario.network,
+        list(scenario.isps),
+        num_conduits=num_conduits,
+    )
+    print(
+        format_table(
+            ("conduit", "km", "members", "best savings"),
+            [
+                (
+                    f"{c.edge[0]} - {c.edge[1]}",
+                    f"{c.length_km:.0f}",
+                    c.num_members,
+                    f"x{max(m.savings_factor for m in c.members):.0f}",
+                )
+                for c in conduits
+            ],
+            title="conduit exchange plan",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments()
+    scenario = us2015(seed=args.seed, campaign_traces=args.traces)
+    if args.command == "run":
+        return _cmd_run(scenario, args.ids)
+    if args.command == "map":
+        return _cmd_map(scenario, args.geojson, args.width)
+    if args.command == "layers":
+        return _cmd_layers(scenario)
+    if args.command == "audit":
+        return _cmd_audit(scenario, args.isp)
+    if args.command == "cut":
+        return _cmd_cut(scenario, args.city_a, args.city_b)
+    if args.command == "annotate":
+        return _cmd_annotate(scenario, args.geojson)
+    if args.command == "pareto":
+        return _cmd_pareto(scenario, args.city_a, args.city_b, args.isp)
+    if args.command == "backup":
+        return _cmd_backup(scenario, args.isp, args.city_a, args.city_b)
+    if args.command == "partition":
+        return _cmd_partition(scenario)
+    if args.command == "exchange":
+        return _cmd_exchange(scenario, args.conduits)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Base datasets: US cities, transportation corridors, ISP profiles.
+
+These replace the paper's external data sources — the NationalAtlas
+roadway/railway layers (Figures 2 and 3), the census population centers
+used in the long-haul-link definition, and the 20 provider identities.
+"""
+
+from repro.data.cities import (
+    CITIES,
+    City,
+    cities_in_states,
+    cities_over,
+    city_by_code,
+    city_by_name,
+    nearest_city,
+)
+from repro.data.corridors import (
+    CORRIDORS,
+    Corridor,
+    corridors_of_kind,
+)
+from repro.data.isps import (
+    ISPS,
+    STEP1_ISPS,
+    STEP3_ISPS,
+    ISPProfile,
+    isp_by_name,
+)
+
+__all__ = [
+    "CITIES",
+    "City",
+    "city_by_name",
+    "city_by_code",
+    "cities_over",
+    "cities_in_states",
+    "nearest_city",
+    "CORRIDORS",
+    "Corridor",
+    "corridors_of_kind",
+    "ISPS",
+    "STEP1_ISPS",
+    "STEP3_ISPS",
+    "ISPProfile",
+    "isp_by_name",
+]

@@ -1,0 +1,15 @@
+"""One experiment module per table and figure of the paper.
+
+Every module exposes ``run(scenario) -> result`` and
+``format_result(result) -> str``; :mod:`repro.experiments.runner` holds
+the registry mapping experiment ids (``table1``, ``fig6``, ...) to them.
+"""
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    Experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "Experiment", "run_experiment", "run_all"]

@@ -1,0 +1,49 @@
+"""Extension experiment: the §8 traffic/delay-annotated map."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.fibermap.annotate import AnnotatedMap, annotate_map
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ExtAnnotatedResult:
+    annotated: AnnotatedMap
+
+
+def run(scenario: Scenario) -> ExtAnnotatedResult:
+    return ExtAnnotatedResult(
+        annotated=annotate_map(scenario.constructed_map, scenario.overlay)
+    )
+
+
+def format_result(result: ExtAnnotatedResult) -> str:
+    annotated = result.annotated
+    classes = Counter(a.risk_class for a in annotated.annotations)
+    class_table = format_table(
+        ("risk class", "conduits"),
+        [
+            (label, classes.get(label, 0))
+            for label in ("private", "shared", "heavily-shared", "critical")
+        ],
+        title="Extension: annotated map - conduits per risk class",
+    )
+    busiest = format_table(
+        ("conduit", "tenants", "class", "probes", "delay ms"),
+        [
+            (
+                f"{a.endpoints[0]} - {a.endpoints[1]}",
+                a.tenants,
+                a.risk_class,
+                a.probes_total,
+                f"{a.delay_ms:.2f}",
+            )
+            for a in annotated.busiest(top=10)
+        ],
+        title="busiest annotated conduits",
+    )
+    return f"{class_table}\n\n{busiest}"

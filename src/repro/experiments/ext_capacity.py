@@ -1,0 +1,58 @@
+"""Extension experiment: capacity concentration in shared conduits.
+
+The risk analysis counts tenants; this experiment weighs them.  Because
+every tenant pulls its own cable, the most-shared conduits also carry
+the most lit capacity — cutting one destroys disproportionate
+bandwidth.  Reported: the tenancy-capacity correlation, the top-decile
+amplification, and the fattest tubes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.fibermap.capacity import (
+    CapacityModel,
+    build_capacity_model,
+    capacity_risk_correlation,
+)
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ExtCapacityResult:
+    model: CapacityModel
+    correlation: float
+
+
+def run(scenario: Scenario) -> ExtCapacityResult:
+    model = build_capacity_model(scenario.constructed_map, scenario.overlay)
+    return ExtCapacityResult(
+        model=model, correlation=capacity_risk_correlation(model)
+    )
+
+
+def format_result(result: ExtCapacityResult) -> str:
+    model = result.model
+    table = format_table(
+        ("conduit", "tenants", "strands", "lit Tbps", "probe share"),
+        [
+            (
+                f"{c.endpoints[0]} - {c.endpoints[1]}",
+                c.tenants,
+                c.strands,
+                f"{c.lit_gbps / 1000:.1f}",
+                f"{c.probe_share:.2%}",
+            )
+            for c in model.top_capacity(10)
+        ],
+        title="Extension: the fattest tubes (capacity-annotated conduits)",
+    )
+    return (
+        f"{table}\n"
+        f"total lit capacity: {model.total_lit_gbps / 1000:.0f} Tbps; "
+        f"top tenancy-decile holds {model.amplification():.0%} of it\n"
+        f"tenancy-capacity correlation: {result.correlation:.2f} "
+        "(the riskiest tubes are also the fattest)"
+    )

@@ -1,0 +1,51 @@
+"""Extension experiment: the §6.3 conduit ("link") exchange model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.report import format_table
+from repro.mitigation.exchange import ExchangeConduit, plan_exchange
+from repro.scenario import Scenario
+
+DEFAULT_CONDUITS = 5
+
+
+@dataclass(frozen=True)
+class ExtExchangeResult:
+    conduits: Tuple[ExchangeConduit, ...]
+
+
+def run(scenario: Scenario,
+        num_conduits: int = DEFAULT_CONDUITS) -> ExtExchangeResult:
+    return ExtExchangeResult(
+        conduits=tuple(
+            plan_exchange(
+                scenario.constructed_map,
+                scenario.network,
+                list(scenario.isps),
+                num_conduits=num_conduits,
+            )
+        )
+    )
+
+
+def format_result(result: ExtExchangeResult) -> str:
+    rows = []
+    for conduit in result.conduits:
+        best = max(m.savings_factor for m in conduit.members)
+        rows.append(
+            (
+                f"{conduit.edge[0]} - {conduit.edge[1]}",
+                f"{conduit.length_km:.0f}",
+                conduit.num_members,
+                f"{conduit.total_gain:.1f}",
+                f"x{best:.0f}",
+            )
+        )
+    return format_table(
+        ("conduit", "km", "members", "aggregate gain", "best savings"),
+        rows,
+        title="Extension: jointly funded conduits (IXP model for trenches)",
+    )

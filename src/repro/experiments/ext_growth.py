@@ -1,0 +1,50 @@
+"""Extension experiment: the sharing trajectory under growth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.fibermap.evolution import GrowthResult, simulate_growth
+from repro.scenario import Scenario
+
+DEFAULT_YEARS = 5
+
+
+@dataclass(frozen=True)
+class ExtGrowthResult:
+    result: GrowthResult
+
+
+def run(scenario: Scenario, years: int = DEFAULT_YEARS) -> ExtGrowthResult:
+    return ExtGrowthResult(
+        result=simulate_growth(scenario.ground_truth, years=years)
+    )
+
+
+def format_result(result: ExtGrowthResult) -> str:
+    growth = result.result
+    table = format_table(
+        ("year", "links", "conduits", "mean tenants", ">=4 shared",
+         "new links", "new conduits"),
+        [
+            (
+                s.year,
+                s.stats.num_links,
+                s.stats.num_conduits,
+                f"{s.mean_tenancy:.2f}",
+                f"{s.shared_ge4_fraction:.1%}",
+                s.new_links,
+                s.new_conduits,
+            )
+            for s in growth.snapshots
+        ],
+        title="Extension: five simulated years of growth",
+    )
+    return (
+        f"{table}\n"
+        f"growth absorbed by existing conduits: "
+        f"{growth.reuse_fraction:.0%} "
+        "(new demand piles into the same tubes - shared risk worsens "
+        "without new trenches)"
+    )

@@ -1,0 +1,105 @@
+"""Extension experiment: the NSFNET-1995 invariance comparison (§6.1).
+
+"The (physical) long-haul infrastructure is comparably static ... the
+links reflected in our map can also be considered an Internet
+invariant."  Test: route every 1995 NSFNET backbone link over the 2015
+conduit map; if the invariance claim holds, the conduits those routes
+traverse are far more heavily shared than the average conduit —
+yesterday's backbone corridors became today's crowded trenches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.data.nsfnet import NsfnetBackbone, nsfnet_backbone
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class NsfnetLinkRow:
+    endpoints: Tuple[str, str]
+    conduits: int
+    mean_tenancy: float
+
+
+@dataclass(frozen=True)
+class ExtNsfnetResult:
+    backbone: NsfnetBackbone
+    rows: Tuple[NsfnetLinkRow, ...]
+    #: Mean tenancy of conduits under NSFNET routes vs the whole map.
+    nsfnet_mean_tenancy: float
+    map_mean_tenancy: float
+
+    @property
+    def invariance_ratio(self) -> float:
+        """>1 means historical routes are today's crowded corridors."""
+        if self.map_mean_tenancy <= 0:
+            return 0.0
+        return self.nsfnet_mean_tenancy / self.map_mean_tenancy
+
+
+def run(scenario: Scenario) -> ExtNsfnetResult:
+    fiber_map = scenario.constructed_map
+    backbone = nsfnet_backbone()
+    graph = fiber_map.simple_conduit_graph()
+    rows: List[NsfnetLinkRow] = []
+    used_tenancies: List[int] = []
+    for a, b in backbone.links:
+        try:
+            path = nx.shortest_path(graph, a, b, weight="length_km")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            continue
+        tenancies = []
+        for u, v in zip(path, path[1:]):
+            conduit_id = graph[u][v]["conduit_id"]
+            # Use the busiest conduit on the edge: the historical route
+            # would have seeded the primary trench.
+            best = max(
+                fiber_map.conduits_between(u, v), key=lambda c: c.num_tenants
+            )
+            tenancies.append(best.num_tenants)
+        used_tenancies.extend(tenancies)
+        rows.append(
+            NsfnetLinkRow(
+                endpoints=(a, b),
+                conduits=len(tenancies),
+                mean_tenancy=float(np.mean(tenancies)),
+            )
+        )
+    all_tenancies = [c.num_tenants for c in fiber_map.conduits.values()]
+    return ExtNsfnetResult(
+        backbone=backbone,
+        rows=tuple(rows),
+        nsfnet_mean_tenancy=float(np.mean(used_tenancies)),
+        map_mean_tenancy=float(np.mean(all_tenancies)),
+    )
+
+
+def format_result(result: ExtNsfnetResult) -> str:
+    table = format_table(
+        ("NSFNET 1995 link", "conduits traversed", "mean tenants"),
+        [
+            (f"{a} - {b}", row.conduits, f"{row.mean_tenancy:.1f}")
+            for (a, b), row in (
+                (r.endpoints, r) for r in result.rows
+            )
+        ],
+        title="Extension: 1995 NSFNET backbone routed over the 2015 map",
+    )
+    return (
+        f"{table}\n"
+        f"backbone: {result.backbone.num_nodes} nodes, "
+        f"{result.backbone.num_links} links, "
+        f"{result.backbone.total_los_km():.0f} km LOS\n"
+        f"mean tenancy under NSFNET routes: "
+        f"{result.nsfnet_mean_tenancy:.1f} vs map average "
+        f"{result.map_mean_tenancy:.1f} "
+        f"(x{result.invariance_ratio:.2f} - historical corridors are "
+        "today's crowded trenches)"
+    )

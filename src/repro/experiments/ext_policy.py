@@ -1,0 +1,45 @@
+"""Extension experiment: the §6.2 Title II open-access trade-off curve."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.report import format_table
+from repro.policy.titleii import TradeoffPoint, open_access_tradeoff
+from repro.scenario import Scenario
+
+DEFAULT_MAX_ENTRANTS = 8
+
+
+@dataclass(frozen=True)
+class ExtPolicyResult:
+    points: Tuple[TradeoffPoint, ...]
+
+
+def run(scenario: Scenario,
+        max_entrants: int = DEFAULT_MAX_ENTRANTS) -> ExtPolicyResult:
+    return ExtPolicyResult(
+        points=tuple(
+            open_access_tradeoff(
+                scenario.constructed_map, max_entrants=max_entrants
+            )
+        )
+    )
+
+
+def format_result(result: ExtPolicyResult) -> str:
+    return format_table(
+        ("entrants", "capital saved", "mean tenants/conduit",
+         "sharing increase"),
+        [
+            (
+                p.num_entrants,
+                f"{p.capital_savings_fraction:.0%}",
+                f"{p.mean_tenants_after:.2f}",
+                f"+{p.sharing_increase:.2f}",
+            )
+            for p in result.points
+        ],
+        title="Extension: Title II open access - savings vs shared risk",
+    )

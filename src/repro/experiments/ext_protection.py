@@ -1,0 +1,64 @@
+"""Extension experiment: SRLG-diverse backup availability per provider."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.report import format_table
+from repro.routing.backup import protection_report
+from repro.scenario import Scenario
+
+STUDIED_ISPS = ("Level 3", "EarthLink", "Sprint", "AT&T", "Suddenlink",
+                "Tata", "XO")
+
+
+@dataclass(frozen=True)
+class ProtectionRow:
+    isp: str
+    pairs: int
+    diverse: int
+    shared: int
+    unprotected: int
+
+    @property
+    def diverse_fraction(self) -> float:
+        return self.diverse / self.pairs if self.pairs else 0.0
+
+
+@dataclass(frozen=True)
+class ExtProtectionResult:
+    rows: Tuple[ProtectionRow, ...]
+
+
+def run(scenario: Scenario, max_pairs: int = 80) -> ExtProtectionResult:
+    rows = []
+    for isp in STUDIED_ISPS:
+        diverse, shared, unprotected = protection_report(
+            scenario.constructed_map, isp, max_pairs=max_pairs
+        )
+        rows.append(
+            ProtectionRow(
+                isp=isp,
+                pairs=diverse + shared + unprotected,
+                diverse=diverse,
+                shared=shared,
+                unprotected=unprotected,
+            )
+        )
+    return ExtProtectionResult(rows=tuple(rows))
+
+
+def format_result(result: ExtProtectionResult) -> str:
+    return format_table(
+        ("ISP", "pairs", "fully diverse", "shared-risk backup",
+         "unprotected", "diverse %"),
+        [
+            (
+                r.isp, r.pairs, r.diverse, r.shared, r.unprotected,
+                f"{r.diverse_fraction:.0%}",
+            )
+            for r in result.rows
+        ],
+        title="Extension: SRLG-diverse backup availability",
+    )

@@ -1,0 +1,76 @@
+"""Figure 5: conduits not co-located with road/rail, explained by pipelines.
+
+Paper examples: the Level 3 right-of-way outside Laurel, MS; Anaheim,
+CA - Las Vegas, NV along a refined-products pipeline; Houston, TX -
+Atlanta, GA along NGL pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.geography import (
+    geography_report,
+    non_transport_conduits,
+)
+from repro.analysis.report import format_table
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    endpoints: Tuple[str, str]
+    tenants: int
+    road_or_rail: float
+    pipeline: float
+    row_id: str
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    rows: Tuple[Fig5Row, ...]
+    pipeline_explained: int
+
+
+def run(scenario: Scenario, threshold: float = 0.8) -> Fig5Result:
+    fiber_map = scenario.constructed_map
+    report = geography_report(fiber_map, scenario.network)
+    rows = []
+    explained = 0
+    for conduit, colocation in non_transport_conduits(
+        report, fiber_map, threshold=threshold
+    ):
+        if colocation.pipeline >= 0.5:
+            explained += 1
+        rows.append(
+            Fig5Row(
+                endpoints=conduit.edge,
+                tenants=conduit.num_tenants,
+                road_or_rail=colocation.road_or_rail,
+                pipeline=colocation.pipeline,
+                row_id=conduit.row_id,
+            )
+        )
+    return Fig5Result(rows=tuple(rows), pipeline_explained=explained)
+
+
+def format_result(result: Fig5Result) -> str:
+    table = format_table(
+        ("conduit", "tenants", "road/rail frac", "pipeline frac", "right-of-way"),
+        [
+            (
+                f"{r.endpoints[0]} - {r.endpoints[1]}",
+                r.tenants,
+                f"{r.road_or_rail:.2f}",
+                f"{r.pipeline:.2f}",
+                r.row_id,
+            )
+            for r in result.rows
+        ],
+        title="Figure 5: conduits off the road/rail grid",
+    )
+    return (
+        f"{table}\n{result.pipeline_explained}/{len(result.rows)} "
+        "explained by pipeline rights-of-way"
+    )

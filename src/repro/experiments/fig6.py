@@ -1,0 +1,54 @@
+"""Figure 6: number of conduits shared by at least k providers.
+
+Paper: 542 conduits total; 89.67% shared by >= 2, 63.28% by >= 3,
+53.50% by >= 4; 12 conduits shared by more than 17 of the 20 providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.report import format_table
+from repro.risk.metrics import conduits_shared_by_at_least, sharing_fractions
+from repro.scenario import Scenario
+
+PAPER_FRACTIONS = {2: 0.8967, 3: 0.6328, 4: 0.5350}
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    series: Tuple[Tuple[int, int], ...]
+    fractions: Dict[int, float]
+    total_conduits: int
+    top12_min_tenants: int
+
+
+def run(scenario: Scenario) -> Fig6Result:
+    matrix = scenario.risk_matrix
+    series = tuple(conduits_shared_by_at_least(matrix))
+    counts = sorted(matrix.sharing_counts(), reverse=True)
+    return Fig6Result(
+        series=series,
+        fractions=sharing_fractions(matrix),
+        total_conduits=len(matrix.conduit_ids),
+        top12_min_tenants=counts[11] if len(counts) >= 12 else 0,
+    )
+
+
+def format_result(result: Fig6Result) -> str:
+    table = format_table(
+        ("k", "conduits shared by >= k"),
+        result.series,
+        title="Figure 6: conduit sharing",
+    )
+    lines = [table, ""]
+    for k, fraction in sorted(result.fractions.items()):
+        lines.append(
+            f">= {k} ISPs: {fraction:.2%} (paper: {PAPER_FRACTIONS[k]:.2%})"
+        )
+    lines.append(
+        f"12 most-shared conduits all have >= {result.top12_min_tenants} "
+        "tenants (paper: >17)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure 8: Hamming-distance similarity of provider risk profiles.
+
+Paper: EarthLink and Level 3 exhibit fairly low risk profiles, followed
+by Cox, Comcast and Time Warner Cable (rich fiber connectivity);
+TeliaSonera, Deutsche Telekom, NTT and XO use highly shared conduits and
+have mutually similar profiles; Suddenlink looks low-risk by average
+sharing but risky by Hamming distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.risk.hamming import (
+    hamming_distance_matrix,
+    most_similar_pairs,
+    risk_profile_similarity,
+)
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    isps: Tuple[str, ...]
+    distances: np.ndarray
+    distinct_profiles: Tuple[Tuple[str, float], ...]
+    similar_pairs: Tuple[Tuple[str, str, int], ...]
+
+
+def run(scenario: Scenario) -> Fig8Result:
+    matrix = scenario.risk_matrix
+    return Fig8Result(
+        isps=matrix.isps,
+        distances=hamming_distance_matrix(matrix),
+        distinct_profiles=tuple(risk_profile_similarity(matrix)),
+        similar_pairs=tuple(most_similar_pairs(matrix, top=8)),
+    )
+
+
+def format_result(result: Fig8Result) -> str:
+    lines = ["Figure 8: Hamming-distance risk-profile heat map"]
+    lines.append(
+        format_table(
+            ("ISP", "mean Hamming distance"),
+            [(isp, f"{d:.1f}") for isp, d in result.distinct_profiles],
+            title="Most distinct (lowest mutual risk) first",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ("ISP A", "ISP B", "Hamming distance"),
+            result.similar_pairs,
+            title="Most similar provider pairs (highest mutual risk)",
+        )
+    )
+    return "\n".join(lines)

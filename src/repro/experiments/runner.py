@@ -1,0 +1,130 @@
+"""Experiment registry: every table and figure, runnable by id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import (  # noqa: F401 (re-export convenience)
+    ext_annotated,
+    ext_capacity,
+    ext_exchange,
+    ext_growth,
+    ext_nsfnet,
+    ext_opacity,
+    ext_partition,
+    ext_policy,
+    ext_protection,
+    ext_resilience,
+    fig1,
+    fig2_3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2_3,
+    table4,
+    table5,
+)
+from repro.scenario import Scenario, us2015
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment (a paper table/figure or an extension)."""
+
+    experiment_id: str
+    title: str
+    run: Callable[[Scenario], Any]
+    format_result: Callable[[Any], str]
+    #: False for the paper's own artifacts, True for extension analyses.
+    extension: bool = False
+
+
+def _register() -> Dict[str, Experiment]:
+    modules = {
+        "table1": (table1, "Table 1: step-1 provider map sizes"),
+        "fig1": (fig1, "Figure 1: the constructed long-haul map"),
+        "fig2_3": (fig2_3, "Figures 2-3: road and rail layers"),
+        "fig4": (fig4, "Figure 4: transport co-location histogram"),
+        "fig5": (fig5, "Figure 5: pipeline rights-of-way"),
+        "fig6": (fig6, "Figure 6: conduits shared by >= k ISPs"),
+        "fig7": (fig7, "Figure 7: ISP ranking by average sharing"),
+        "fig8": (fig8, "Figure 8: Hamming risk-profile similarity"),
+        "table2_3": (table2_3, "Tables 2-3: most-probed conduits"),
+        "fig9": (fig9, "Figure 9: sharing CDF with traffic overlay"),
+        "table4": (table4, "Table 4: ISPs by conduits carrying traffic"),
+        "fig10": (fig10, "Figure 10: path inflation / shared-risk reduction"),
+        "table5": (table5, "Table 5: peering suggestions"),
+        "fig11": (fig11, "Figure 11: improvement vs k added conduits"),
+        "fig12": (fig12, "Figure 12: propagation delay CDFs"),
+    }
+    extensions = {
+        "ext_resilience": (
+            ext_resilience, "Extension: targeted attack vs random cuts"),
+        "ext_partition": (
+            ext_partition, "Extension: cuts-to-partition + metro coverage"),
+        "ext_policy": (
+            ext_policy, "Extension: Title II open-access trade-off"),
+        "ext_exchange": (
+            ext_exchange, "Extension: the conduit exchange model"),
+        "ext_protection": (
+            ext_protection, "Extension: SRLG-diverse backup availability"),
+        "ext_annotated": (
+            ext_annotated, "Extension: the annotated map"),
+        "ext_nsfnet": (
+            ext_nsfnet, "Extension: NSFNET-1995 invariance comparison"),
+        "ext_opacity": (
+            ext_opacity, "Extension: logical vs physical path diversity"),
+        "ext_capacity": (
+            ext_capacity, "Extension: capacity concentration in shared conduits"),
+        "ext_growth": (
+            ext_growth, "Extension: sharing trajectory under growth"),
+    }
+    registry = {}
+    for experiment_id, (module, title) in modules.items():
+        registry[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            run=module.run,
+            format_result=module.format_result,
+        )
+    for experiment_id, (module, title) in extensions.items():
+        registry[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            run=module.run,
+            format_result=module.format_result,
+            extension=True,
+        )
+    return registry
+
+
+#: All experiments keyed by id.
+EXPERIMENTS: Dict[str, Experiment] = _register()
+
+
+def run_experiment(
+    experiment_id: str, scenario: Optional[Scenario] = None
+) -> Tuple[Any, str]:
+    """Run one experiment; returns ``(result, formatted_text)``."""
+    experiment = EXPERIMENTS[experiment_id]
+    scenario = scenario if scenario is not None else us2015()
+    result = experiment.run(scenario)
+    return result, experiment.format_result(result)
+
+
+def run_all(scenario: Optional[Scenario] = None) -> List[Tuple[str, str]]:
+    """Run every experiment; returns ``(id, formatted_text)`` pairs."""
+    scenario = scenario if scenario is not None else us2015()
+    output = []
+    for experiment_id in sorted(EXPERIMENTS):
+        _, text = run_experiment(experiment_id, scenario)
+        output.append((experiment_id, text))
+    return output

@@ -1,0 +1,50 @@
+"""Tables 2 and 3: most-probed conduits by direction.
+
+Paper: top west-origin east-bound conduits include Trenton-Edison,
+Kalamazoo-Battle Creek, Dallas-Fort Worth; east-origin west-bound
+include West Palm Beach-Boca Raton and waypoint cities like Casper, WY
+and Billings, MT; Dallas and Salt Lake City appear heavily in both
+directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.report import format_table
+from repro.scenario import Scenario
+
+ConduitRow = Tuple[Tuple[str, str], int]
+
+
+@dataclass(frozen=True)
+class Table23Result:
+    west_to_east: Tuple[ConduitRow, ...]
+    east_to_west: Tuple[ConduitRow, ...]
+
+
+def run(scenario: Scenario, top: int = 20) -> Table23Result:
+    overlay = scenario.overlay
+    return Table23Result(
+        west_to_east=tuple(overlay.top_conduits("west_to_east", top)),
+        east_to_west=tuple(overlay.top_conduits("east_to_west", top)),
+    )
+
+
+def _rows(series: Tuple[ConduitRow, ...]):
+    return [(a, b, count) for (a, b), count in series]
+
+
+def format_result(result: Table23Result) -> str:
+    west = format_table(
+        ("Location", "Location", "# Probes"),
+        _rows(result.west_to_east),
+        title="Table 2: top conduits, west-origin east-bound",
+    )
+    east = format_table(
+        ("Location", "Location", "# Probes"),
+        _rows(result.east_to_west),
+        title="Table 3: top conduits, east-origin west-bound",
+    )
+    return f"{west}\n\n{east}"

@@ -1,0 +1,54 @@
+"""Table 5: best peering suggestions per provider.
+
+Paper: "Level 3 is predominantly the best peer that any ISP could add to
+improve robustness, largely due to their already-robust infrastructure.
+AT&T and CenturyLink are also prominent peers."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.mitigation.peering import peering_suggestions
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    suggestions: Dict[str, List[str]]
+    top_peer_counts: Tuple[Tuple[str, int], ...]
+
+
+def run(scenario: Scenario, top: int = 12) -> Table5Result:
+    suggestions = peering_suggestions(
+        scenario.constructed_map, scenario.risk_matrix, top=top
+    )
+    counts = Counter()
+    for isp, peers in suggestions.items():
+        for peer in peers:
+            counts[peer] += 1
+    return Table5Result(
+        suggestions=suggestions,
+        top_peer_counts=tuple(
+            sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        ),
+    )
+
+
+def format_result(result: Table5Result) -> str:
+    table = format_table(
+        ("ISP", "suggested peering"),
+        [
+            (isp, " | ".join(peers) if peers else "(none)")
+            for isp, peers in sorted(result.suggestions.items())
+        ],
+        title="Table 5: top-3 peering suggestions per provider",
+    )
+    counts = ", ".join(f"{p} ({n})" for p, n in result.top_peer_counts)
+    return (
+        f"{table}\nmost suggested peers: {counts}\n"
+        "(paper: Level 3 predominant, then AT&T and CenturyLink)"
+    )

@@ -1,0 +1,144 @@
+"""Map evolution: projecting growth under the same economics.
+
+The paper stresses that the physical map changes slowly ("installed
+conduits rarely become defunct, and deploying new conduits takes
+considerable time") and that sharing-friendly policy accelerates conduit
+reuse.  This module grows a ground-truth world forward year by year —
+each provider adds links at a configurable rate, routed with the same
+lease-vs-trench economics as the original synthesis — and records the
+sharing trajectory: does growth mostly pile into the existing tubes?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.data.isps import isp_by_name
+from repro.fibermap.elements import FiberMap, MapStats
+from repro.fibermap.serialization import fiber_map_from_dict, fiber_map_to_dict
+from repro.fibermap.synthesis import GroundTruth, _IspRouter, _occupy_edge
+from repro.transport.network import canonical_edge
+
+
+@dataclass(frozen=True)
+class YearSnapshot:
+    """The map's risk posture after one simulated year."""
+
+    year: int
+    stats: MapStats
+    mean_tenancy: float
+    shared_ge4_fraction: float
+    new_links: int
+    new_conduits: int
+
+
+@dataclass(frozen=True)
+class GrowthResult:
+    """Trajectory over the simulated horizon."""
+
+    snapshots: Tuple[YearSnapshot, ...]
+
+    @property
+    def final(self) -> YearSnapshot:
+        return self.snapshots[-1]
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of growth absorbed by existing conduits.
+
+        1.0 means every new link rode existing tubes; the paper's
+        economics predict values near 1.
+        """
+        links = sum(s.new_links for s in self.snapshots[1:])
+        conduits = sum(s.new_conduits for s in self.snapshots[1:])
+        if links == 0:
+            return 1.0
+        # Each link could in principle have demanded several new conduits.
+        return max(0.0, 1.0 - conduits / links)
+
+
+def _snapshot(fiber_map: FiberMap, year: int, new_links: int,
+              new_conduits: int) -> YearSnapshot:
+    tenancies = [c.num_tenants for c in fiber_map.conduits.values()]
+    total = max(1, len(tenancies))
+    return YearSnapshot(
+        year=year,
+        stats=fiber_map.stats(),
+        mean_tenancy=sum(tenancies) / total,
+        shared_ge4_fraction=sum(1 for t in tenancies if t >= 4) / total,
+        new_links=new_links,
+        new_conduits=new_conduits,
+    )
+
+
+def simulate_growth(
+    ground_truth: GroundTruth,
+    years: int = 5,
+    annual_link_growth: float = 0.03,
+    seed: int = 29,
+) -> GrowthResult:
+    """Grow the world forward and record the sharing trajectory.
+
+    The input ground truth is not mutated; growth happens on a deep copy
+    of its fiber map.  Each year every provider adds
+    ``round(annual_link_growth * current links)`` new links between
+    randomly chosen pairs of its existing POPs, routed with the original
+    synthesis economics (builders trench, lessees herd).
+    """
+    if years <= 0:
+        raise ValueError("years must be positive")
+    if annual_link_growth < 0:
+        raise ValueError("growth rate must be non-negative")
+    fiber_map = fiber_map_from_dict(fiber_map_to_dict(ground_truth.fiber_map))
+    registry = ground_truth.registry
+    network = ground_truth.network
+    rng = random.Random(seed)
+    used_row_ids: Set[str] = {
+        c.row_id for c in fiber_map.conduits.values()
+    }
+    snapshots: List[YearSnapshot] = [_snapshot(fiber_map, 0, 0, 0)]
+    for year in range(1, years + 1):
+        year_links = 0
+        conduits_before = fiber_map.stats().num_conduits
+        for isp in fiber_map.isps():
+            profile = isp_by_name(isp)
+            current = fiber_map.links_of(isp)
+            budget = round(annual_link_growth * len(current))
+            if budget <= 0:
+                continue
+            pops = sorted({e for link in current for e in link.endpoints})
+            if len(pops) < 2:
+                continue
+            existing_pairs = {link.endpoints for link in current}
+            edges_with_conduits = {
+                c.edge for c in fiber_map.conduits.values()
+            }
+            router = _IspRouter(profile, network, edges_with_conduits)
+            added = 0
+            attempts = 0
+            while added < budget and attempts < budget * 50:
+                attempts += 1
+                a, b = rng.sample(pops, 2)
+                pair = canonical_edge(a, b)
+                if pair in existing_pairs:
+                    continue
+                path = router.route(a, b)
+                router.mark_used(path)
+                conduit_ids = []
+                for u, v in zip(path, path[1:]):
+                    conduit = _occupy_edge(
+                        fiber_map, registry, canonical_edge(u, v),
+                        isp, used_row_ids, rng,
+                    )
+                    conduit_ids.append(conduit.conduit_id)
+                fiber_map.add_link(isp, path, conduit_ids)
+                existing_pairs.add(pair)
+                added += 1
+                year_links += 1
+        new_conduits = fiber_map.stats().num_conduits - conduits_before
+        snapshots.append(
+            _snapshot(fiber_map, year, year_links, new_conduits)
+        )
+    return GrowthResult(snapshots=tuple(snapshots))

@@ -1,0 +1,100 @@
+"""Merging community contributions into the long-haul map (§2.5).
+
+A contribution is itself a fiber map (maybe built from a different
+document trove, maybe covering one region).  Merging deduplicates
+conduits by (city-pair edge, right-of-way), unions tenant sets, and
+re-homes the contribution's links onto the merged conduit identities —
+the growing-database workflow the paper calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.fibermap.elements import FiberMap
+from repro.transport.network import EdgeKey
+
+ConduitKey = Tuple[EdgeKey, str]
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What a merge did."""
+
+    conduits_added: int
+    conduits_matched: int
+    tenancies_added: int
+    links_added: int
+
+
+def merge_maps(base: FiberMap, contribution: FiberMap) -> Tuple[FiberMap, MergeReport]:
+    """Merge *contribution* into a copy of *base*.
+
+    Neither input is mutated.  Conduit identity is (edge, row);
+    matched conduits union their tenants, unmatched ones are added with
+    their geometry.  The contribution's links are re-added against the
+    merged conduit ids (base links keep their ids; contributed link ids
+    are regenerated to avoid collisions).
+    """
+    merged = FiberMap()
+    key_to_id: Dict[ConduitKey, str] = {}
+    # Copy the base verbatim (stable ids).
+    for conduit_id, conduit in sorted(base.conduits.items()):
+        merged.add_conduit(
+            conduit.edge[0], conduit.edge[1], conduit.row_id,
+            conduit.geometry, conduit_id=conduit_id,
+        )
+        key_to_id[(conduit.edge, conduit.row_id)] = conduit_id
+    for link_id, link in sorted(base.links.items()):
+        merged.add_link(link.isp, link.city_path, link.conduit_ids,
+                        link_id=link_id)
+    for conduit_id, conduit in sorted(base.conduits.items()):
+        for tenant in sorted(conduit.tenants):
+            if tenant not in merged.conduit(conduit_id).tenants:
+                merged.add_tenant(conduit_id, tenant)
+
+    conduits_added = 0
+    conduits_matched = 0
+    tenancies_added = 0
+    remap: Dict[str, str] = {}
+    for conduit_id, conduit in sorted(contribution.conduits.items()):
+        key = (conduit.edge, conduit.row_id)
+        existing = key_to_id.get(key)
+        if existing is None:
+            created = merged.add_conduit(
+                conduit.edge[0], conduit.edge[1], conduit.row_id,
+                conduit.geometry,
+            )
+            key_to_id[key] = created.conduit_id
+            remap[conduit_id] = created.conduit_id
+            conduits_added += 1
+            existing = created.conduit_id
+        else:
+            remap[conduit_id] = existing
+            conduits_matched += 1
+        for tenant in sorted(conduit.tenants):
+            if tenant not in merged.conduit(existing).tenants:
+                merged.add_tenant(existing, tenant)
+                tenancies_added += 1
+
+    links_added = 0
+    existing_links = {
+        (link.isp, link.city_path) for link in merged.links.values()
+    }
+    for link in sorted(contribution.links.values(), key=lambda l: l.link_id):
+        if (link.isp, link.city_path) in existing_links:
+            continue
+        merged.add_link(
+            link.isp,
+            link.city_path,
+            [remap[cid] for cid in link.conduit_ids],
+        )
+        links_added += 1
+    report = MergeReport(
+        conduits_added=conduits_added,
+        conduits_matched=conduits_matched,
+        tenancies_added=tenancies_added,
+        links_added=links_added,
+    )
+    return merged, report

@@ -1,0 +1,136 @@
+"""A lat/lon bucket grid index over polyline segments.
+
+Buffer-overlap analysis asks, for thousands of sample points, "is there a
+road or rail segment within D km of this point?".  A uniform grid over
+latitude/longitude keeps that query local instead of scanning every
+segment of every corridor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.polyline import Polyline
+from repro.geo.projection import point_segment_distance_km
+
+CellKey = Tuple[int, int]
+Segment = Tuple[GeoPoint, GeoPoint, Hashable]
+
+
+class SpatialGridIndex:
+    """Uniform lat/lon grid holding tagged polyline segments.
+
+    Parameters
+    ----------
+    cell_deg:
+        Grid cell size in degrees.  0.5 degrees (~55 km N-S) is a good
+        default for corridor-scale queries.
+    """
+
+    def __init__(self, cell_deg: float = 0.5):
+        if cell_deg <= 0:
+            raise ValueError(f"cell size must be positive: {cell_deg}")
+        self.cell_deg = cell_deg
+        self._cells: Dict[CellKey, List[Segment]] = defaultdict(list)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def _cell_of(self, point: GeoPoint) -> CellKey:
+        return (
+            int(math.floor(point.lat / self.cell_deg)),
+            int(math.floor(point.lon / self.cell_deg)),
+        )
+
+    def _cells_for_segment(self, a: GeoPoint, b: GeoPoint) -> Set[CellKey]:
+        """All cells a segment may touch (bounding box of its endpoints)."""
+        ra, ca = self._cell_of(a)
+        rb, cb = self._cell_of(b)
+        return {
+            (r, c)
+            for r in range(min(ra, rb), max(ra, rb) + 1)
+            for c in range(min(ca, cb), max(ca, cb) + 1)
+        }
+
+    # ------------------------------------------------------------------
+    def insert_segment(self, a: GeoPoint, b: GeoPoint, tag: Hashable) -> None:
+        """Insert one segment with an arbitrary hashable *tag*."""
+        seg: Segment = (a, b, tag)
+        for key in self._cells_for_segment(a, b):
+            self._cells[key].append(seg)
+        self._count += 1
+
+    def insert_polyline(self, line: Polyline, tag: Hashable) -> None:
+        """Insert every segment of *line* under *tag*."""
+        for a, b in line.segments():
+            self.insert_segment(a, b, tag)
+
+    def __len__(self) -> int:
+        """Number of segments inserted (not counting multi-cell duplicates)."""
+        return self._count
+
+    # ------------------------------------------------------------------
+    def _candidate_segments(self, point: GeoPoint, radius_km: float) -> Iterable[Segment]:
+        """Segments in all cells within *radius_km* of *point* (deduplicated)."""
+        # Convert the radius to a conservative cell ring count.  A degree of
+        # latitude is ~111 km; longitude degrees shrink with latitude, so use
+        # the latitude bound which is the tighter one and pad by one ring.
+        ring = int(math.ceil(radius_km / (111.0 * self.cell_deg))) + 1
+        r0, c0 = self._cell_of(point)
+        seen: Set[int] = set()
+        for r in range(r0 - ring, r0 + ring + 1):
+            for c in range(c0 - ring, c0 + ring + 1):
+                for seg in self._cells.get((r, c), ()):
+                    ident = id(seg)
+                    if ident not in seen:
+                        seen.add(ident)
+                        yield seg
+
+    def nearest_distance_km(
+        self, point: GeoPoint, radius_km: float, tags: Set[Hashable] = None
+    ) -> float:
+        """Distance to the nearest indexed segment within *radius_km*.
+
+        Returns ``math.inf`` when nothing lies within the radius.  When
+        *tags* is given, only segments whose tag is in the set count.
+        """
+        best = math.inf
+        for a, b, tag in self._candidate_segments(point, radius_km):
+            if tags is not None and tag not in tags:
+                continue
+            # Cheap rejection: if both endpoints are far beyond radius + best,
+            # skip the exact projection.
+            if (
+                haversine_km(point, a) - haversine_km(a, b) > min(best, radius_km)
+            ):
+                continue
+            d = point_segment_distance_km(point, a, b)
+            if d < best:
+                best = d
+        return best if best <= radius_km else math.inf
+
+    def within(self, point: GeoPoint, radius_km: float) -> Set[Hashable]:
+        """Tags of all segments within *radius_km* of *point*.
+
+        The candidate segments are grouped per tag and evaluated with the
+        vectorized point-to-segments kernel (this is the hot path of the
+        §3 buffer-overlap analysis).
+        """
+        import numpy as np
+
+        from repro.geo.vectorized import segment_distances_km
+
+        segments = list(self._candidate_segments(point, radius_km))
+        if not segments:
+            return set()
+        lat_a = np.fromiter((s[0].lat for s in segments), dtype=float)
+        lon_a = np.fromiter((s[0].lon for s in segments), dtype=float)
+        lat_b = np.fromiter((s[1].lat for s in segments), dtype=float)
+        lon_b = np.fromiter((s[1].lon for s in segments), dtype=float)
+        distances = segment_distances_km(point, lat_a, lon_a, lat_b, lon_b)
+        hits: Set[Hashable] = set()
+        for index in np.nonzero(distances <= radius_km)[0]:
+            hits.add(segments[index][2])
+        return hits

@@ -1,0 +1,163 @@
+"""Polylines: the geometry of fiber routes and transportation corridors."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geo.coords import GeoPoint, great_circle_interpolate, haversine_km
+from repro.geo.projection import point_segment_distance_km
+
+
+class Polyline:
+    """An ordered sequence of geographic points with geometric queries.
+
+    Used for conduit geometry, road/rail corridor geometry, and
+    traceroute-path geometry.  Immutable once constructed.
+    """
+
+    __slots__ = ("_points", "_cumulative")
+
+    def __init__(self, points: Iterable[GeoPoint]):
+        pts: Tuple[GeoPoint, ...] = tuple(points)
+        if len(pts) < 2:
+            raise ValueError("a polyline needs at least two points")
+        self._points = pts
+        cumulative: List[float] = [0.0]
+        for a, b in zip(pts, pts[1:]):
+            cumulative.append(cumulative[-1] + haversine_km(a, b))
+        self._cumulative = tuple(cumulative)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Tuple[GeoPoint, ...]:
+        return self._points
+
+    @property
+    def start(self) -> GeoPoint:
+        return self._points[0]
+
+    @property
+    def end(self) -> GeoPoint:
+        return self._points[-1]
+
+    @property
+    def length_km(self) -> float:
+        """Total route length in kilometers."""
+        return self._cumulative[-1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[GeoPoint]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polyline) and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Polyline({len(self._points)} pts, {self.length_km:.1f} km, "
+            f"{self.start}..{self.end})"
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def segments(self) -> Iterator[Tuple[GeoPoint, GeoPoint]]:
+        """Iterate over consecutive point pairs."""
+        return zip(self._points, self._points[1:])
+
+    def reversed(self) -> "Polyline":
+        return Polyline(reversed(self._points))
+
+    def point_at_km(self, distance_km: float) -> GeoPoint:
+        """The point *distance_km* along the route from its start.
+
+        Values are clamped to the route extent.
+        """
+        if distance_km <= 0.0:
+            return self.start
+        if distance_km >= self.length_km:
+            return self.end
+        # Binary search over the cumulative distance table.
+        lo, hi = 0, len(self._cumulative) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] <= distance_km:
+                lo = mid
+            else:
+                hi = mid
+        seg_start = self._cumulative[lo]
+        seg_len = self._cumulative[hi] - seg_start
+        if seg_len < 1e-12:
+            return self._points[lo]
+        fraction = (distance_km - seg_start) / seg_len
+        return great_circle_interpolate(self._points[lo], self._points[hi], fraction)
+
+    def resample(self, spacing_km: float) -> List[GeoPoint]:
+        """Sample points along the route every *spacing_km* (endpoints included)."""
+        if spacing_km <= 0:
+            raise ValueError(f"spacing must be positive: {spacing_km}")
+        samples = [self.start]
+        d = spacing_km
+        while d < self.length_km:
+            samples.append(self.point_at_km(d))
+            d += spacing_km
+        samples.append(self.end)
+        return samples
+
+    def distance_to_point_km(self, point: GeoPoint) -> float:
+        """Minimum distance from *point* to any segment of the polyline."""
+        return min(
+            point_segment_distance_km(point, a, b) for a, b in self.segments()
+        )
+
+    def concat(self, other: "Polyline") -> "Polyline":
+        """Join two polylines; *other* must start where this one ends."""
+        if other.start != self.end:
+            raise ValueError("polylines are not contiguous")
+        return Polyline(self._points + other._points[1:])
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """(min_lat, min_lon, max_lat, max_lon) of the route."""
+        lats = [p.lat for p in self._points]
+        lons = [p.lon for p in self._points]
+        return (min(lats), min(lons), max(lats), max(lons))
+
+
+def straightness(line: Polyline) -> float:
+    """Ratio of endpoint great-circle distance to route length, in (0, 1].
+
+    1.0 means the route follows the line of sight exactly; lower values
+    indicate circuitous deployment (the paper's §5.3 contrast between
+    deployed routes, rights-of-way, and line-of-sight).
+    """
+    direct = haversine_km(line.start, line.end)
+    if line.length_km < 1e-9:
+        return 1.0
+    return min(1.0, direct / line.length_km)
+
+
+def polyline_through(points: Sequence[GeoPoint], waypoints_per_segment: int = 0) -> Polyline:
+    """Build a polyline through *points*, optionally densified.
+
+    ``waypoints_per_segment`` extra great-circle points are inserted into
+    each consecutive pair, which makes buffer-overlap analysis smoother.
+    """
+    if waypoints_per_segment < 0:
+        raise ValueError("waypoints_per_segment must be >= 0")
+    if waypoints_per_segment == 0:
+        return Polyline(points)
+    dense: List[GeoPoint] = []
+    for a, b in zip(points, points[1:]):
+        dense.append(a)
+        for i in range(1, waypoints_per_segment + 1):
+            fraction = i / (waypoints_per_segment + 1)
+            dense.append(great_circle_interpolate(a, b, fraction))
+    dense.append(points[-1])
+    return Polyline(dense)

@@ -1,0 +1,38 @@
+"""Risk mitigation and performance optimization (§5).
+
+* :mod:`repro.mitigation.robustness` — §5.1: reroute around the most
+  heavily shared conduits using existing conduits only (path inflation /
+  shared-risk reduction).
+* :mod:`repro.mitigation.peering` — §5.1, Table 5: which providers make
+  the best risk-reducing peers.
+* :mod:`repro.mitigation.augmentation` — §5.2: add up to *k* new conduits
+  along unused rights-of-way to maximize global risk reduction.
+* :mod:`repro.mitigation.latency` — §5.3: propagation-delay analysis
+  (existing paths vs best ROW path vs line of sight).
+"""
+
+from repro.mitigation.augmentation import (
+    AugmentationResult,
+    candidate_new_edges,
+    improvement_curve,
+)
+from repro.mitigation.latency import LatencyStudy, PairDelays, latency_study
+from repro.mitigation.peering import peering_suggestions
+from repro.mitigation.robustness import (
+    RobustnessSuggestion,
+    SuggestionOutcome,
+    optimize_isp_around_conduits,
+)
+
+__all__ = [
+    "RobustnessSuggestion",
+    "SuggestionOutcome",
+    "optimize_isp_around_conduits",
+    "peering_suggestions",
+    "candidate_new_edges",
+    "improvement_curve",
+    "AugmentationResult",
+    "latency_study",
+    "LatencyStudy",
+    "PairDelays",
+]

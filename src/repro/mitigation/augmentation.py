@@ -1,0 +1,213 @@
+"""Adding new conduits along unused rights-of-way (§5.2).
+
+The paper's formulation: add up to *k* new city-to-city conduits (edges
+not in G) so that overall robustness increases the most while deployment
+cost (fiber miles) stays low.  Figure 11 then reports, per provider, the
+improvement ratio after k = 1..10 additions: small-footprint providers
+(Telia, Tata) gain substantially, infrastructure-rich ones (Level 3,
+CenturyLink, Cogent) barely move, and Suddenlink is the anomaly that
+shows no improvement because it depends on other providers' trunks to
+reach its scattered markets.
+
+Metric: a provider's exposure is the traffic-weighted average shared
+risk of its links — total tenant count over all conduit hops its links
+traverse, divided by the hop count — with every link routed on its
+minimum-risk path over the provider's own footprint plus the new private
+conduits (tenant count 1).  The improvement ratio is the relative drop
+of that exposure, ``1 - after/before``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.fibermap.elements import FiberMap
+from repro.transport.network import EdgeKey, TransportationNetwork, canonical_edge
+
+#: Length contribution to routing weight (prefers short when risk ties).
+LENGTH_EPSILON = 1.0 / 2000.0
+#: Deployment-cost penalty per km when scoring candidate conduits — the
+#: paper's DC term: between two candidates with equal risk gain, the
+#: shorter trench wins.
+COST_PENALTY_PER_KM = 1.0 / 500.0
+#: Maximum candidates evaluated exactly per greedy step.
+MAX_CANDIDATES = 150
+
+
+@dataclass(frozen=True)
+class AugmentationResult:
+    """Figure 11 data for one provider."""
+
+    isp: str
+    baseline_risk: float
+    #: Exposure after k additions, index 0 = k=1.
+    risk_after: Tuple[float, ...]
+    #: Edges added, in greedy order.
+    added_edges: Tuple[EdgeKey, ...]
+
+    def improvement_ratio(self, k: int) -> float:
+        """Relative exposure reduction after *k* added conduits."""
+        if not 1 <= k <= len(self.risk_after):
+            raise ValueError(f"k out of range: {k}")
+        if self.baseline_risk <= 0:
+            return 0.0
+        return 1.0 - self.risk_after[k - 1] / self.baseline_risk
+
+    @property
+    def curve(self) -> List[Tuple[int, float]]:
+        return [
+            (k, self.improvement_ratio(k))
+            for k in range(1, len(self.risk_after) + 1)
+        ]
+
+
+def candidate_new_edges(
+    fiber_map: FiberMap,
+    network: TransportationNetwork,
+    primary_only: bool = True,
+) -> List[Tuple[EdgeKey, float]]:
+    """Rights-of-way edges that host no conduit yet: the §5.2 candidate set.
+
+    Returns ``(edge, length_km)`` pairs sorted by edge for determinism.
+    """
+    used = {c.edge for c in fiber_map.conduits.values()}
+    result = []
+    for record in network.edges():
+        if record.edge in used:
+            continue
+        if primary_only and not record.is_primary:
+            continue
+        result.append((record.edge, record.length_km))
+    return result
+
+
+class _FootprintRouter:
+    """Minimum-risk routing over one provider's (augmentable) footprint."""
+
+    def __init__(self, fiber_map: FiberMap, isp: str):
+        self.graph = nx.Graph()
+        for cid, conduit in sorted(fiber_map.conduits.items()):
+            if isp not in conduit.tenants:
+                continue
+            a, b = conduit.edge
+            weight = conduit.num_tenants + LENGTH_EPSILON * conduit.length_km
+            data = self.graph.get_edge_data(a, b)
+            if data is None or weight < data["w"]:
+                self.graph.add_edge(
+                    a, b, w=weight, risk=conduit.num_tenants
+                )
+
+    def add_private_conduit(self, edge: EdgeKey, length_km: float) -> None:
+        weight = 1.0 + LENGTH_EPSILON * length_km
+        data = self.graph.get_edge_data(*edge)
+        if data is None or weight < data["w"]:
+            self.graph.add_edge(edge[0], edge[1], w=weight, risk=1)
+
+    def route_exposure(self, demands: Sequence[EdgeKey]) -> float:
+        """Traffic-weighted average shared risk over all demands."""
+        total_risk = 0.0
+        total_hops = 0
+        for a, b in demands:
+            try:
+                path = nx.shortest_path(self.graph, a, b, weight="w")
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                continue
+            for u, v in zip(path, path[1:]):
+                total_risk += self.graph[u][v]["risk"]
+                total_hops += 1
+        if total_hops == 0:
+            return 0.0
+        return total_risk / total_hops
+
+    def dijkstra_risk(self, source: str) -> Dict[str, float]:
+        if source not in self.graph:
+            return {}
+        return nx.single_source_dijkstra_path_length(
+            self.graph, source, weight="w"
+        )
+
+
+def improvement_curve(
+    fiber_map: FiberMap,
+    network: TransportationNetwork,
+    isp: str,
+    max_k: int = 10,
+    candidates: Optional[List[Tuple[EdgeKey, float]]] = None,
+) -> AugmentationResult:
+    """Greedy §5.2 augmentation for one provider.
+
+    Each greedy step scores candidates by the exposure drop of rerouting
+    the provider's links with the candidate added (estimated with two
+    Dijkstras per candidate), applies the best, and measures exactly.
+    """
+    router = _FootprintRouter(fiber_map, isp)
+    demands = sorted(
+        {link.endpoints for link in fiber_map.links_of(isp)}
+    )
+    footprint_cities = set(router.graph.nodes)
+    if candidates is None:
+        candidates = candidate_new_edges(fiber_map, network)
+    pool = [
+        (edge, length)
+        for edge, length in candidates
+        if edge[0] in footprint_cities and edge[1] in footprint_cities
+    ][:MAX_CANDIDATES]
+    baseline = router.route_exposure(demands)
+    risks_after: List[float] = []
+    added: List[EdgeKey] = []
+    current = baseline
+    for _ in range(max_k):
+        # Current demand costs, computed once per step: one Dijkstra per
+        # distinct demand source.
+        sources = sorted({a for a, _ in demands} | {b for _, b in demands})
+        dist_from: Dict[str, Dict[str, float]] = {
+            s: router.dijkstra_risk(s) for s in sources
+        }
+        current_cost: Dict[EdgeKey, float] = {}
+        for a, b in demands:
+            cost = dist_from.get(a, {}).get(b)
+            if cost is not None:
+                current_cost[(a, b)] = cost
+        best_edge: Optional[Tuple[EdgeKey, float]] = None
+        best_score = 0.0
+        for edge, length in pool:
+            if edge in added:
+                continue
+            # Estimated gain: links that would reroute through the new
+            # conduit save (old path cost) - (cost via new conduit).
+            from_u = dist_from.get(edge[0], router.dijkstra_risk(edge[0]))
+            from_v = dist_from.get(edge[1], router.dijkstra_risk(edge[1]))
+            new_weight = 1.0 + LENGTH_EPSILON * length
+            gain = 0.0
+            for (a, b), cost in current_cost.items():
+                if a not in from_u or b not in from_v:
+                    continue
+                via_new = min(
+                    from_u[a] + new_weight + from_v[b],
+                    from_v.get(a, float("inf"))
+                    + new_weight
+                    + from_u.get(b, float("inf")),
+                )
+                if via_new < cost:
+                    gain += cost - via_new
+            score = gain - COST_PENALTY_PER_KM * length
+            if score > best_score:
+                best_score = score
+                best_edge = (edge, length)
+        if best_edge is None:
+            # No candidate helps; the curve flattens (Suddenlink's case).
+            risks_after.append(current)
+            continue
+        router.add_private_conduit(*best_edge)
+        added.append(best_edge[0])
+        current = router.route_exposure(demands)
+        risks_after.append(current)
+    return AugmentationResult(
+        isp=isp,
+        baseline_risk=baseline,
+        risk_after=tuple(risks_after),
+        added_edges=tuple(added),
+    )

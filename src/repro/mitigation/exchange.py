@@ -1,0 +1,149 @@
+"""The "link exchange" model of §6.3.
+
+The paper proposes adapting the IXP model to conduits: consortia of
+providers jointly fund the key long-haul links identified by the §5.2
+analysis, "especially if the cost for participating providers would be
+competitive".  This module makes that concrete: rank candidate conduits
+by their aggregate risk-reduction benefit across all providers, form a
+consortium per conduit from the providers that benefit, and split the
+construction cost in proportion to benefit — reporting how much cheaper
+membership is than building alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fibermap.elements import FiberMap
+from repro.mitigation.augmentation import (
+    LENGTH_EPSILON,
+    _FootprintRouter,
+    candidate_new_edges,
+)
+from repro.transport.network import EdgeKey, TransportationNetwork
+
+#: Construction cost per conduit kilometer (arbitrary cost units; only
+#: ratios matter).
+COST_PER_KM = 1.0
+#: Minimum exposure gain for a provider to join a consortium.
+MIN_GAIN = 1e-6
+
+
+@dataclass(frozen=True)
+class ExchangeMember:
+    """One provider's stake in a jointly built conduit."""
+
+    isp: str
+    gain: float
+    cost_share: float
+    solo_cost: float
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times cheaper membership is than building alone."""
+        if self.cost_share <= 0:
+            return float("inf")
+        return self.solo_cost / self.cost_share
+
+
+@dataclass(frozen=True)
+class ExchangeConduit:
+    """One conduit the exchange would build."""
+
+    edge: EdgeKey
+    length_km: float
+    total_gain: float
+    members: Tuple[ExchangeMember, ...]
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def total_cost(self) -> float:
+        return self.length_km * COST_PER_KM
+
+
+def _estimated_gain(
+    router: _FootprintRouter,
+    demands: Sequence[EdgeKey],
+    dist_cache: Dict[str, Dict[str, float]],
+    edge: EdgeKey,
+    length_km: float,
+) -> float:
+    """Exposure-cost drop for one provider if *edge* existed (estimate)."""
+    if edge[0] not in router.graph or edge[1] not in router.graph:
+        return 0.0
+    from_u = dist_cache.setdefault(edge[0], router.dijkstra_risk(edge[0]))
+    from_v = dist_cache.setdefault(edge[1], router.dijkstra_risk(edge[1]))
+    new_weight = 1.0 + LENGTH_EPSILON * length_km
+    gain = 0.0
+    for a, b in demands:
+        current = dist_cache.setdefault(a, router.dijkstra_risk(a)).get(b)
+        if current is None:
+            continue
+        via = min(
+            from_u.get(a, float("inf")) + new_weight + from_v.get(b, float("inf")),
+            from_v.get(a, float("inf")) + new_weight + from_u.get(b, float("inf")),
+        )
+        if via < current:
+            gain += current - via
+    return gain
+
+
+def plan_exchange(
+    fiber_map: FiberMap,
+    network: TransportationNetwork,
+    isps: Sequence[str],
+    num_conduits: int = 5,
+    candidates: Optional[List[Tuple[EdgeKey, float]]] = None,
+) -> List[ExchangeConduit]:
+    """Plan the *num_conduits* most beneficial jointly funded conduits.
+
+    Benefit per provider is the §5.2 exposure-gain estimate; cost shares
+    are proportional to benefit (providers that gain nothing pay
+    nothing and stay out).
+    """
+    if num_conduits <= 0:
+        raise ValueError("num_conduits must be positive")
+    if candidates is None:
+        candidates = candidate_new_edges(fiber_map, network)
+    routers: Dict[str, _FootprintRouter] = {}
+    demands: Dict[str, List[EdgeKey]] = {}
+    caches: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for isp in isps:
+        routers[isp] = _FootprintRouter(fiber_map, isp)
+        demands[isp] = sorted({l.endpoints for l in fiber_map.links_of(isp)})
+        caches[isp] = {}
+    scored: List[Tuple[EdgeKey, float, float, Dict[str, float]]] = []
+    for edge, length in candidates:
+        gains = {}
+        for isp in isps:
+            gain = _estimated_gain(
+                routers[isp], demands[isp], caches[isp], edge, length
+            )
+            if gain > MIN_GAIN:
+                gains[isp] = gain
+        total = sum(gains.values())
+        if total > MIN_GAIN:
+            scored.append((edge, length, total, gains))
+    scored.sort(key=lambda item: (-item[2], item[0]))
+    result = []
+    for edge, length, total, gains in scored[:num_conduits]:
+        cost = length * COST_PER_KM
+        members = tuple(
+            ExchangeMember(
+                isp=isp,
+                gain=gain,
+                cost_share=cost * gain / total,
+                solo_cost=cost,
+            )
+            for isp, gain in sorted(gains.items())
+        )
+        result.append(
+            ExchangeConduit(
+                edge=edge, length_km=length, total_gain=total, members=members
+            )
+        )
+    return result

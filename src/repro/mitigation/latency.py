@@ -1,0 +1,175 @@
+"""Propagation-delay analysis (§5.3, Figure 12).
+
+For city pairs connected by the conduit system, compare four one-way
+delays:
+
+* **best existing path** — shortest conduit path actually deployed;
+* **average of existing paths** — mean over the distinct physical paths
+  between the pair (deployed routes often take long detours);
+* **best ROW path** — shortest path over existing roads and railways,
+  i.e. what a new conduit along existing rights-of-way could achieve;
+* **LOS** — the line-of-sight lower bound, "in most cases practically
+  infeasible".
+
+The paper's headline findings: average delays substantially exceed the
+best link; about 65% of best paths are already the best ROW paths; and
+LOS-vs-ROW differences are under ~100 us for half the pairs but exceed
+500 us for a quarter of them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.fibermap.elements import FiberMap
+from repro.geo.coords import fiber_delay_ms
+from repro.transport.network import EdgeKey, TransportationNetwork, canonical_edge
+
+#: Default LOS distance band for studied pairs (km).  Maps to roughly
+#: 0.75-4.5 ms, the x-range of Figure 12.
+DEFAULT_MIN_KM = 150.0
+DEFAULT_MAX_KM = 900.0
+#: Number of alternative physical paths considered for the average.
+DEFAULT_MAX_PATHS = 4
+#: Alternative paths longer than slack * best are not real alternatives.
+DEFAULT_SLACK = 2.5
+
+
+@dataclass(frozen=True)
+class PairDelays:
+    """One city pair's four delays, milliseconds one-way."""
+
+    pair: EdgeKey
+    best_ms: float
+    avg_ms: float
+    row_ms: float
+    los_ms: float
+
+    @property
+    def best_is_row_best(self) -> bool:
+        """True when the deployed best path matches the best ROW (within 1%)."""
+        return self.best_ms <= self.row_ms * 1.01
+
+
+@dataclass(frozen=True)
+class LatencyStudy:
+    """The full §5.3 dataset."""
+
+    pairs: Tuple[PairDelays, ...]
+
+    def cdf(self, attribute: str) -> List[Tuple[float, float]]:
+        """CDF points (delay_ms, fraction) for one of the four series."""
+        values = sorted(getattr(p, attribute) for p in self.pairs)
+        n = len(values)
+        return [(v, (i + 1) / n) for i, v in enumerate(values)]
+
+    @property
+    def fraction_best_is_row_best(self) -> float:
+        """The paper's "about 65% of the best paths are also the best ROW
+        paths" statistic."""
+        if not self.pairs:
+            return 0.0
+        return sum(1 for p in self.pairs if p.best_is_row_best) / len(self.pairs)
+
+    def row_los_gap_percentiles(
+        self, q: Sequence[float] = (50.0, 75.0)
+    ) -> List[float]:
+        """Percentiles of (best ROW - LOS) delay gap, milliseconds."""
+        import numpy as np
+
+        gaps = [p.row_ms - p.los_ms for p in self.pairs]
+        if not gaps:
+            return [0.0 for _ in q]
+        return [float(v) for v in np.percentile(gaps, list(q))]
+
+
+def _alternative_paths_mean_km(
+    graph: nx.Graph,
+    a: str,
+    b: str,
+    best_km: float,
+    max_paths: int,
+    slack: float,
+) -> float:
+    """Mean length of distinct physical paths between two cities.
+
+    Enumerates shortest simple paths until the slack bound or path-count
+    cap is hit; always includes the best path.
+    """
+    lengths: List[float] = []
+    generator = nx.shortest_simple_paths(graph, a, b, weight="length_km")
+    for path in generator:
+        km = sum(
+            graph[u][v]["length_km"] for u, v in zip(path, path[1:])
+        )
+        if km > best_km * slack and lengths:
+            break
+        lengths.append(km)
+        if len(lengths) >= max_paths:
+            break
+    return sum(lengths) / len(lengths)
+
+
+def latency_study(
+    fiber_map: FiberMap,
+    network: TransportationNetwork,
+    min_km: float = DEFAULT_MIN_KM,
+    max_km: float = DEFAULT_MAX_KM,
+    max_pairs: Optional[int] = 400,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    slack: float = DEFAULT_SLACK,
+    seed: int = 97,
+) -> LatencyStudy:
+    """Build the Figure 12 dataset.
+
+    Studied pairs are the distinct provider-link endpoint pairs whose LOS
+    distance falls in [min_km, max_km] — city pairs the industry actually
+    connects.  ``max_pairs`` caps the sample (deterministically) to keep
+    the k-shortest-path enumeration tractable.
+    """
+    conduit_graph = fiber_map.simple_conduit_graph()
+    pairs: Set[EdgeKey] = set()
+    for link in fiber_map.links.values():
+        a, b = link.endpoints
+        if a == b:
+            continue
+        los = network.los_km(a, b)
+        if min_km <= los <= max_km:
+            pairs.add(canonical_edge(a, b))
+    ordered = sorted(pairs)
+    if max_pairs is not None and len(ordered) > max_pairs:
+        rng = random.Random(seed)
+        ordered = sorted(rng.sample(ordered, max_pairs))
+    results: List[PairDelays] = []
+    for a, b in ordered:
+        if a not in conduit_graph or b not in conduit_graph:
+            continue
+        try:
+            best_km = nx.shortest_path_length(
+                conduit_graph, a, b, weight="length_km"
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            continue
+        avg_km = _alternative_paths_mean_km(
+            conduit_graph, a, b, best_km, max_paths, slack
+        )
+        try:
+            _, row_km = network.row_shortest_path(a, b, kinds=("road", "rail"))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            continue
+        los_km = network.los_km(a, b)
+        results.append(
+            PairDelays(
+                pair=(a, b),
+                best_ms=fiber_delay_ms(best_km),
+                avg_ms=fiber_delay_ms(avg_km),
+                row_ms=fiber_delay_ms(row_km),
+                los_ms=fiber_delay_ms(los_km),
+            )
+        )
+    return LatencyStudy(pairs=tuple(results))

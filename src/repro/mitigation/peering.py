@@ -1,0 +1,66 @@
+"""Peering suggestions (§5.1, Table 5).
+
+"Apart from finding optimal paths with minimum shared risk, the
+robustness suggestion optimization framework can also be used to infer
+additional peering (hops) that can improve the overall robustness of the
+network": the conduits an optimized path uses that the provider is not a
+tenant of belong to other providers — the ones it should peer with.
+Level 3 dominates in the paper "largely due to their already-robust
+infrastructure".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fibermap.elements import FiberMap
+from repro.mitigation.robustness import optimize_isp_around_conduits
+from repro.risk.matrix import RiskMatrix
+from repro.risk.metrics import most_shared_conduits
+
+
+def peering_candidates_for_isp(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    isp: str,
+    conduit_ids: Optional[Sequence[str]] = None,
+    top_peers: int = 3,
+) -> List[Tuple[str, int]]:
+    """Ranked peer suggestions for one provider.
+
+    Every tenant of every foreign conduit on the optimized paths gets one
+    vote per (target conduit, foreign conduit) appearance; the most-voted
+    providers are the best peers.
+    """
+    suggestion = optimize_isp_around_conduits(
+        fiber_map, matrix, isp, conduit_ids
+    )
+    votes: Counter = Counter()
+    for outcome in suggestion.outcomes:
+        for conduit_id in outcome.optimized_conduits:
+            conduit = fiber_map.conduit(conduit_id)
+            if isp in conduit.tenants:
+                continue
+            for tenant in conduit.tenants:
+                if tenant != isp and tenant in matrix.isps:
+                    votes[tenant] += 1
+    ranked = sorted(votes.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top_peers]
+
+
+def peering_suggestions(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    top: int = 12,
+    top_peers: int = 3,
+) -> Dict[str, List[str]]:
+    """Table 5: the best peers per provider for the most-shared conduits."""
+    shared = [cid for cid, _ in most_shared_conduits(matrix, top=top)]
+    result: Dict[str, List[str]] = {}
+    for isp in matrix.isps:
+        ranked = peering_candidates_for_isp(
+            fiber_map, matrix, isp, shared, top_peers
+        )
+        result[isp] = [peer for peer, _ in ranked]
+    return result

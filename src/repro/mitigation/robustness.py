@@ -1,0 +1,174 @@
+"""The robustness-suggestion framework (§5.1).
+
+For a provider and a heavily shared conduit it depends on, find the
+alternate path between the conduit's endpoints — over existing conduits
+only — that minimizes shared risk:
+
+    OP(i, j) = argmin over paths P in E_A of SR(P)
+
+where E_A is the set of all conduit paths and SR sums the tenant counts
+of the conduits on the path.  Two metrics evaluate the suggestion
+(Figure 10): **path inflation** (PI), the extra hops of the optimized
+path over the original single conduit, and **shared-risk reduction**
+(SRR), the drop from the original conduit's tenant count to the worst
+tenant count along the optimized path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.fibermap.elements import FiberMap
+from repro.risk.matrix import RiskMatrix
+from repro.risk.metrics import most_shared_conduits
+
+
+@dataclass(frozen=True)
+class SuggestionOutcome:
+    """Optimization result for one (provider, conduit) pair."""
+
+    isp: str
+    conduit_id: str
+    original_risk: int
+    optimized_conduits: Tuple[str, ...]
+    optimized_max_risk: int
+
+    @property
+    def path_inflation(self) -> int:
+        """Extra conduit hops of the optimized path (original = 1 hop)."""
+        return len(self.optimized_conduits) - 1
+
+    @property
+    def shared_risk_reduction(self) -> int:
+        """Original tenant count minus the optimized path's worst count."""
+        return self.original_risk - self.optimized_max_risk
+
+
+@dataclass(frozen=True)
+class RobustnessSuggestion:
+    """Aggregated Figure 10 bars for one provider."""
+
+    isp: str
+    outcomes: Tuple[SuggestionOutcome, ...]
+
+    def _values(self, attr: str) -> List[int]:
+        return [getattr(o, attr) for o in self.outcomes]
+
+    @property
+    def max_pi(self) -> int:
+        return max(self._values("path_inflation"), default=0)
+
+    @property
+    def min_pi(self) -> int:
+        return min(self._values("path_inflation"), default=0)
+
+    @property
+    def avg_pi(self) -> float:
+        values = self._values("path_inflation")
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def max_srr(self) -> int:
+        return max(self._values("shared_risk_reduction"), default=0)
+
+    @property
+    def min_srr(self) -> int:
+        return min(self._values("shared_risk_reduction"), default=0)
+
+    @property
+    def avg_srr(self) -> float:
+        values = self._values("shared_risk_reduction")
+        return sum(values) / len(values) if values else 0.0
+
+
+def _risk_graph(fiber_map: FiberMap, exclude: Optional[str] = None) -> nx.Graph:
+    """Conduit graph weighted by shared risk (tenant count).
+
+    Parallel conduits collapse to the least-shared one; the conduit being
+    optimized away is excluded so the alternate path cannot use it.
+    """
+    graph = nx.Graph()
+    for cid, conduit in sorted(fiber_map.conduits.items()):
+        if cid == exclude:
+            continue
+        a, b = conduit.edge
+        data = graph.get_edge_data(a, b)
+        if data is None or conduit.num_tenants < data["risk"]:
+            graph.add_edge(
+                a, b, conduit_id=cid, risk=conduit.num_tenants,
+                length_km=conduit.length_km,
+            )
+    return graph
+
+
+def optimize_conduit_for_isp(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    isp: str,
+    conduit_id: str,
+) -> Optional[SuggestionOutcome]:
+    """Minimum-shared-risk alternate path around one conduit.
+
+    Returns ``None`` when the conduit's endpoints have no alternate
+    connection (a true bridge in the conduit graph).
+    """
+    conduit = fiber_map.conduit(conduit_id)
+    graph = _risk_graph(fiber_map, exclude=conduit_id)
+    a, b = conduit.edge
+    try:
+        path = nx.shortest_path(graph, a, b, weight="risk")
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+    conduits = tuple(
+        graph[u][v]["conduit_id"] for u, v in zip(path, path[1:])
+    )
+    max_risk = max(graph[u][v]["risk"] for u, v in zip(path, path[1:]))
+    return SuggestionOutcome(
+        isp=isp,
+        conduit_id=conduit_id,
+        original_risk=conduit.num_tenants,
+        optimized_conduits=conduits,
+        optimized_max_risk=max_risk,
+    )
+
+
+def optimize_isp_around_conduits(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    isp: str,
+    conduit_ids: Optional[Sequence[str]] = None,
+    top: int = 12,
+) -> RobustnessSuggestion:
+    """Run the §5.1 optimization for one provider.
+
+    By default the targets are the *top* most heavily shared conduits the
+    provider actually occupies (the paper's 12 highly shared links).
+    """
+    if conduit_ids is None:
+        shared = most_shared_conduits(matrix, top=top)
+        conduit_ids = [cid for cid, _ in shared]
+    outcomes = []
+    for conduit_id in conduit_ids:
+        conduit = fiber_map.conduit(conduit_id)
+        if isp not in conduit.tenants:
+            continue
+        outcome = optimize_conduit_for_isp(fiber_map, matrix, isp, conduit_id)
+        if outcome is not None:
+            outcomes.append(outcome)
+    return RobustnessSuggestion(isp=isp, outcomes=tuple(outcomes))
+
+
+def optimize_all_isps(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    top: int = 12,
+) -> Dict[str, RobustnessSuggestion]:
+    """Figure 10: the framework applied to every provider."""
+    shared = [cid for cid, _ in most_shared_conduits(matrix, top=top)]
+    return {
+        isp: optimize_isp_around_conduits(fiber_map, matrix, isp, shared)
+        for isp in matrix.isps
+    }

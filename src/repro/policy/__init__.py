@@ -1,0 +1,23 @@
+"""Policy analysis: the §6.2 Title II / open-access trade-off.
+
+The paper argues the net-neutrality debate "would benefit from a
+quantitative assessment of the unavoidable trade-offs ... between the
+substantial cost savings enjoyed by future Title II regulated service
+providers and an increasingly vulnerable national long-haul fiber-optic
+infrastructure".  :mod:`repro.policy.titleii` provides exactly that
+quantification over the constructed map.
+"""
+
+from repro.policy.titleii import (
+    OpenAccessOutcome,
+    TradeoffPoint,
+    open_access_tradeoff,
+    simulate_open_access,
+)
+
+__all__ = [
+    "simulate_open_access",
+    "OpenAccessOutcome",
+    "open_access_tradeoff",
+    "TradeoffPoint",
+]

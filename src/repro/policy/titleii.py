@@ -1,0 +1,178 @@
+"""Quantifying the Title II open-access trade-off (§6.2).
+
+If conduits must be opened to third parties, new entrants "take
+advantage of expensive already-existing long-haul infrastructure to
+facilitate the build out of their own infrastructure at considerably
+lower cost" — and every conduit they enter becomes a bigger shared-risk
+group.  We simulate *n* entrants building national footprints under two
+regimes:
+
+* **open access** — entrants pull fiber through existing conduits
+  (cost: a lease fraction of trenching);
+* **build-own** — the counterfactual where each entrant must trench its
+  own conduits along the same routes.
+
+The outcome is the paper's trade-off, measured: capital saved by the
+entrants vs the growth of conduit sharing (Figure 6 statistics before
+and after).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.data.cities import city_by_name
+from repro.fibermap.elements import FiberMap
+from repro.risk.matrix import RiskMatrix
+
+#: Leasing into an existing conduit costs this fraction of trenching.
+LEASE_COST_FRACTION = 0.12
+#: Entrant footprint size (POPs).
+ENTRANT_POPS = 25
+
+
+@dataclass(frozen=True)
+class OpenAccessOutcome:
+    """Sharing and cost effects of admitting open-access entrants."""
+
+    entrants: Tuple[str, ...]
+    #: Conduit-km entrants occupy.
+    leased_km: float
+    #: What trenching the same routes would have cost (km).
+    build_own_km: float
+    #: Fraction of conduits shared by >= k providers, before and after.
+    sharing_before: Dict[int, float]
+    sharing_after: Dict[int, float]
+    #: Mean tenants per conduit, before and after.
+    mean_tenants_before: float
+    mean_tenants_after: float
+
+    @property
+    def capital_savings_fraction(self) -> float:
+        """Fraction of build-own capital the entrants avoided."""
+        if self.build_own_km <= 0:
+            return 0.0
+        leased_cost = self.leased_km * LEASE_COST_FRACTION
+        return 1.0 - leased_cost / self.build_own_km
+
+    @property
+    def sharing_increase(self) -> float:
+        """Growth of mean conduit tenancy (shared-risk proxy)."""
+        return self.mean_tenants_after - self.mean_tenants_before
+
+
+def _entrant_tenancy(
+    fiber_map: FiberMap,
+    rng: random.Random,
+    name: str,
+) -> Tuple[List[str], float]:
+    """Conduits one entrant leases, plus the route mileage."""
+    graph = fiber_map.simple_conduit_graph()
+    cities = sorted(graph.nodes)
+    weights = [city_by_name(c).population for c in cities]
+    pops = sorted(set(rng.choices(cities, weights=weights, k=ENTRANT_POPS)))
+    if len(pops) < 2:
+        return [], 0.0
+    ordered = sorted(pops, key=lambda c: -city_by_name(c).population)
+    connected = [ordered[0]]
+    conduit_ids: List[str] = []
+    total_km = 0.0
+    for city in ordered[1:]:
+        partner = min(
+            connected,
+            key=lambda c: city_by_name(city).distance_km(city_by_name(c)),
+        )
+        try:
+            path = nx.shortest_path(graph, city, partner, weight="length_km")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):  # pragma: no cover
+            continue
+        connected.append(city)
+        for u, v in zip(path, path[1:]):
+            data = graph[u][v]
+            conduit_ids.append(data["conduit_id"])
+            total_km += data["length_km"]
+    return conduit_ids, total_km
+
+
+def _sharing_stats(counts: Sequence[int]) -> Tuple[Dict[int, float], float]:
+    total = max(1, len(counts))
+    fractions = {
+        k: sum(1 for c in counts if c >= k) / total for k in (2, 3, 4)
+    }
+    mean = sum(counts) / total
+    return fractions, mean
+
+
+def simulate_open_access(
+    fiber_map: FiberMap,
+    num_entrants: int = 3,
+    seed: int = 19,
+) -> OpenAccessOutcome:
+    """Admit *num_entrants* open-access entrants and measure the fallout.
+
+    The input map is not mutated; tenancy effects are computed on a
+    copy of the tenant counts.
+    """
+    if num_entrants < 0:
+        raise ValueError("num_entrants must be non-negative")
+    rng = random.Random(seed)
+    counts_before = [c.num_tenants for c in fiber_map.conduits.values()]
+    before, mean_before = _sharing_stats(counts_before)
+    extra: Dict[str, set] = {cid: set() for cid in fiber_map.conduits}
+    entrants = tuple(f"Entrant-{i + 1}" for i in range(num_entrants))
+    leased_km = 0.0
+    build_own_km = 0.0
+    for name in entrants:
+        conduit_ids, km = _entrant_tenancy(fiber_map, rng, name)
+        leased_km += km
+        build_own_km += km  # same routes, own trench
+        for cid in conduit_ids:
+            extra[cid].add(name)
+    counts_after = [
+        c.num_tenants + len(extra[c.conduit_id])
+        for c in fiber_map.conduits.values()
+    ]
+    after, mean_after = _sharing_stats(counts_after)
+    return OpenAccessOutcome(
+        entrants=entrants,
+        leased_km=leased_km,
+        build_own_km=build_own_km,
+        sharing_before=before,
+        sharing_after=after,
+        mean_tenants_before=mean_before,
+        mean_tenants_after=mean_after,
+    )
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the savings-vs-risk trade-off curve."""
+
+    num_entrants: int
+    capital_savings_fraction: float
+    mean_tenants_after: float
+    sharing_increase: float
+
+
+def open_access_tradeoff(
+    fiber_map: FiberMap,
+    max_entrants: int = 8,
+    seed: int = 19,
+) -> List[TradeoffPoint]:
+    """The §6.2 trade-off curve: entrants vs savings vs shared risk."""
+    points = []
+    for n in range(0, max_entrants + 1):
+        outcome = simulate_open_access(fiber_map, num_entrants=n, seed=seed)
+        points.append(
+            TradeoffPoint(
+                num_entrants=n,
+                capital_savings_fraction=outcome.capital_savings_fraction,
+                mean_tenants_after=outcome.mean_tenants_after,
+                sharing_increase=outcome.sharing_increase,
+            )
+        )
+    return points

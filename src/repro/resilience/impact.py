@@ -1,0 +1,139 @@
+"""Impact assessment: what one cut event does to each provider.
+
+For every tenant of a severed conduit: which of its links crossed the
+cut, which of its POP pairs lose connectivity entirely (no alternate
+path over its remaining footprint), and how much one-way delay the
+survivable pairs gain when rerouted.  Optionally, a traffic overlay
+quantifies how much probe traffic crossed the cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.fibermap.elements import FiberMap
+from repro.geo.coords import fiber_delay_ms
+from repro.resilience.cuts import CutEvent
+from repro.traceroute.overlay import TrafficOverlay
+from repro.transport.network import EdgeKey
+
+
+@dataclass(frozen=True)
+class IspImpact:
+    """One provider's exposure to one cut event."""
+
+    isp: str
+    #: Links whose conduit path crosses the cut.
+    links_hit: int
+    #: POP pairs (of the hit links) with no surviving alternate path.
+    pairs_disconnected: int
+    #: Mean extra one-way delay (ms) for the survivable hit pairs.
+    mean_reroute_delay_ms: float
+    #: Worst extra one-way delay (ms).
+    max_reroute_delay_ms: float
+
+    @property
+    def survivable(self) -> bool:
+        return self.pairs_disconnected == 0
+
+
+@dataclass(frozen=True)
+class CutImpact:
+    """Full assessment of one cut event."""
+
+    event: CutEvent
+    per_isp: Tuple[IspImpact, ...]
+    #: Probe traffic that crossed the severed conduits (0 if no overlay).
+    probes_affected: int
+
+    @property
+    def isps_affected(self) -> int:
+        return sum(1 for i in self.per_isp if i.links_hit > 0)
+
+    @property
+    def total_links_hit(self) -> int:
+        return sum(i.links_hit for i in self.per_isp)
+
+    @property
+    def total_pairs_disconnected(self) -> int:
+        return sum(i.pairs_disconnected for i in self.per_isp)
+
+    def impact_of(self, isp: str) -> Optional[IspImpact]:
+        for impact in self.per_isp:
+            if impact.isp == isp:
+                return impact
+        return None
+
+
+def _surviving_graph(fiber_map: FiberMap, isp: str, event: CutEvent) -> nx.Graph:
+    """The provider's conduit graph with the severed conduits removed."""
+    graph = nx.Graph()
+    for cid, conduit in sorted(fiber_map.conduits.items()):
+        if isp not in conduit.tenants or cid in event.conduit_ids:
+            continue
+        a, b = conduit.edge
+        data = graph.get_edge_data(a, b)
+        if data is None or conduit.length_km < data["length_km"]:
+            graph.add_edge(a, b, length_km=conduit.length_km)
+    return graph
+
+
+def assess_cut(
+    fiber_map: FiberMap,
+    event: CutEvent,
+    overlay: Optional[TrafficOverlay] = None,
+) -> CutImpact:
+    """Assess one cut event across every tenant of the severed conduits."""
+    tenants = set()
+    for conduit_id in event.conduit_ids:
+        tenants |= fiber_map.conduit(conduit_id).tenants
+    per_isp: List[IspImpact] = []
+    for isp in sorted(tenants):
+        hit_links = [
+            link
+            for link in fiber_map.links_of(isp)
+            if any(cid in event.conduit_ids for cid in link.conduit_ids)
+        ]
+        if not hit_links:
+            per_isp.append(IspImpact(isp, 0, 0, 0.0, 0.0))
+            continue
+        survivors = _surviving_graph(fiber_map, isp, event)
+        disconnected = 0
+        delays: List[float] = []
+        for link in hit_links:
+            a, b = link.endpoints
+            original_km = sum(
+                fiber_map.conduit(cid).length_km for cid in link.conduit_ids
+            )
+            try:
+                rerouted_km = nx.shortest_path_length(
+                    survivors, a, b, weight="length_km"
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                disconnected += 1
+                continue
+            delays.append(
+                max(0.0, fiber_delay_ms(rerouted_km) - fiber_delay_ms(original_km))
+            )
+        per_isp.append(
+            IspImpact(
+                isp=isp,
+                links_hit=len(hit_links),
+                pairs_disconnected=disconnected,
+                mean_reroute_delay_ms=(
+                    sum(delays) / len(delays) if delays else 0.0
+                ),
+                max_reroute_delay_ms=max(delays, default=0.0),
+            )
+        )
+    probes = 0
+    if overlay is not None:
+        traffic = overlay.traffic()
+        for conduit_id in event.conduit_ids:
+            item = traffic.get(conduit_id)
+            if item is not None:
+                probes += item.total
+    return CutImpact(event=event, per_isp=tuple(per_isp), probes_affected=probes)

@@ -1,0 +1,119 @@
+"""Random-cut studies and targeted attacks.
+
+How much worse is an adversary who reads the map than a random backhoe?
+The targeted attack severs the most-shared rights-of-way first (the
+"How to Destroy the Internet" scenario of the paper's reference [40]);
+the random study samples ROW cuts uniformly.  Comparing the two
+quantifies the security implication the paper raises in §4 ("certain
+metrics ... have associated security implications").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fibermap.elements import FiberMap
+from repro.resilience.cuts import CutEvent, edge_cut
+from repro.resilience.impact import CutImpact, assess_cut
+from repro.risk.matrix import RiskMatrix
+from repro.traceroute.overlay import TrafficOverlay
+from repro.transport.network import EdgeKey
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Cumulative damage as cuts accumulate."""
+
+    #: Cut events in the order applied.
+    events: Tuple[CutEvent, ...]
+    #: After the i-th cut: total POP pairs disconnected across providers.
+    cumulative_disconnected: Tuple[int, ...]
+    #: After the i-th cut: providers with at least one disconnected pair.
+    cumulative_isps_harmed: Tuple[int, ...]
+    #: Probe traffic crossing each cut (0 without an overlay).
+    probes_affected: Tuple[int, ...]
+
+
+def _apply_sequence(
+    fiber_map: FiberMap,
+    edges: Sequence[EdgeKey],
+    overlay: Optional[TrafficOverlay],
+) -> AttackResult:
+    """Assess a sequence of ROW cuts with cumulative conduit removal."""
+    events: List[CutEvent] = []
+    dead: set = set()
+    cumulative_disconnected: List[int] = []
+    cumulative_isps: List[int] = []
+    probes: List[int] = []
+    for edge in edges:
+        event = edge_cut(fiber_map, *edge)
+        # Accumulate: everything severed so far goes dark together.
+        dead |= event.conduit_ids
+        combined = CutEvent(
+            description=f"cumulative cuts through {event.description}",
+            conduit_ids=frozenset(dead),
+            location=event.location,
+        )
+        impact = assess_cut(fiber_map, combined, overlay)
+        events.append(event)
+        cumulative_disconnected.append(impact.total_pairs_disconnected)
+        cumulative_isps.append(
+            sum(1 for i in impact.per_isp if i.pairs_disconnected > 0)
+        )
+        probes.append(
+            assess_cut(fiber_map, event, overlay).probes_affected
+            if overlay is not None
+            else 0
+        )
+    return AttackResult(
+        events=tuple(events),
+        cumulative_disconnected=tuple(cumulative_disconnected),
+        cumulative_isps_harmed=tuple(cumulative_isps),
+        probes_affected=tuple(probes),
+    )
+
+
+def targeted_attack(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    cuts: int = 5,
+    overlay: Optional[TrafficOverlay] = None,
+) -> AttackResult:
+    """Sever the most-shared rights-of-way, worst first."""
+    if cuts <= 0:
+        raise ValueError("cuts must be positive")
+    by_edge: Dict[EdgeKey, int] = {}
+    for conduit in fiber_map.conduits.values():
+        count = matrix.sharing_count(conduit.conduit_id)
+        by_edge[conduit.edge] = max(by_edge.get(conduit.edge, 0), count)
+    ranked = sorted(by_edge.items(), key=lambda kv: (-kv[1], kv[0]))
+    edges = [edge for edge, _ in ranked[:cuts]]
+    return _apply_sequence(fiber_map, edges, overlay)
+
+
+def random_cut_study(
+    fiber_map: FiberMap,
+    cuts: int = 5,
+    trials: int = 10,
+    seed: int = 13,
+    overlay: Optional[TrafficOverlay] = None,
+) -> List[AttackResult]:
+    """Repeated random ROW cut sequences, for baseline comparison."""
+    if cuts <= 0 or trials <= 0:
+        raise ValueError("cuts and trials must be positive")
+    rng = random.Random(seed)
+    all_edges = sorted({c.edge for c in fiber_map.conduits.values()})
+    results = []
+    for _ in range(trials):
+        edges = rng.sample(all_edges, min(cuts, len(all_edges)))
+        results.append(_apply_sequence(fiber_map, edges, overlay))
+    return results
+
+
+def mean_final_disconnected(results: Sequence[AttackResult]) -> float:
+    """Average final disconnected-pair count over trials."""
+    if not results:
+        return 0.0
+    return sum(r.cumulative_disconnected[-1] for r in results) / len(results)

@@ -1,0 +1,137 @@
+"""Partitioning the US long-haul infrastructure (§4's security metric).
+
+The paper notes that "certain metrics (e.g., number of fiber cuts to
+partition the US long-haul infrastructure) have associated security
+implications", and footnote 8 adds: "when accounting for alternate
+routes via undersea cables, network partitioning for the US Internet is
+a very unlikely scenario."  This module computes both: the minimum
+number of right-of-way cuts that split the west coast from the east
+coast over the terrestrial conduit graph, and the same figure when the
+coastal undersea bypass (landing stations on both seaboards) is
+included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.data.cities import city_by_name
+from repro.fibermap.elements import FiberMap
+from repro.transport.network import EdgeKey
+
+#: Cities with major undersea cable landing stations, by seaboard.
+WEST_LANDINGS = ("Seattle, WA", "San Francisco, CA", "Los Angeles, CA",
+                 "San Diego, CA")
+EAST_LANDINGS = ("Boston, MA", "New York, NY", "Norfolk, VA", "Miami, FL")
+
+#: Longitude bounds classifying coastal anchor cities.
+_WEST_LON = -115.0
+_EAST_LON = -80.0
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Minimum cuts to split west from east."""
+
+    #: Right-of-way edges in the minimum cut.
+    cut_edges: Tuple[EdgeKey, ...]
+    #: Number of ROW cuts needed.
+    min_cuts: int
+    #: Same with the undersea bypass; ``None`` when partitioning becomes
+    #: impossible (footnote 8's claim).
+    min_cuts_with_undersea: Optional[int]
+
+    @property
+    def partitionable_with_undersea(self) -> bool:
+        return self.min_cuts_with_undersea is not None
+
+
+def _coastal_anchors(fiber_map: FiberMap) -> Tuple[List[str], List[str]]:
+    west, east = [], []
+    for city_key in fiber_map.nodes:
+        lon = city_by_name(city_key).lon
+        if lon <= _WEST_LON:
+            west.append(city_key)
+        elif lon >= _EAST_LON:
+            east.append(city_key)
+    return sorted(west), sorted(east)
+
+
+def _row_graph(fiber_map: FiberMap) -> nx.Graph:
+    """ROW-level graph: one unit-capacity edge per city pair.
+
+    Cuts are physical dig events, so parallel conduits collapse into one
+    edge (one trench event severs them together).
+    """
+    graph = nx.Graph()
+    for conduit in fiber_map.conduits.values():
+        graph.add_edge(*conduit.edge, capacity=1)
+    return graph
+
+
+def partition_report(fiber_map: FiberMap) -> PartitionReport:
+    """Minimum west-east ROW cuts, with and without the undersea bypass."""
+    west, east = _coastal_anchors(fiber_map)
+    if not west or not east:
+        raise ValueError("map lacks coastal anchor cities")
+    graph = _row_graph(fiber_map)
+    source, sink = "__WEST__", "__EAST__"
+    for city in west:
+        if city in graph:
+            graph.add_edge(source, city, capacity=10**6)
+    for city in east:
+        if city in graph:
+            graph.add_edge(sink, city, capacity=10**6)
+    cut_value, (west_side, _east_side) = nx.minimum_cut(
+        graph, source, sink, capacity="capacity"
+    )
+    cut_edges = tuple(
+        sorted(
+            (u, v) if u <= v else (v, u)
+            for u, v in nx.edge_boundary(graph, west_side)
+            if source not in (u, v) and sink not in (u, v)
+        )
+    )
+    # Undersea bypass: landing stations on each seaboard are mutually
+    # reachable by sea, which an inland backhoe cannot touch.
+    bypass = graph.copy()
+    landings = [
+        c for c in WEST_LANDINGS + EAST_LANDINGS if c in fiber_map.nodes
+    ]
+    for i, a in enumerate(landings):
+        for b in landings[i + 1:]:
+            bypass.add_edge(a, b, capacity=10**6)
+    cut_with_sea, _ = nx.minimum_cut(bypass, source, sink, capacity="capacity")
+    return PartitionReport(
+        cut_edges=cut_edges,
+        min_cuts=int(cut_value),
+        min_cuts_with_undersea=(
+            int(cut_with_sea) if cut_with_sea < 10**6 else None
+        ),
+    )
+
+
+def isp_partition_cuts(fiber_map: FiberMap, isp: str) -> int:
+    """Minimum ROW cuts to split one provider's own network west-east.
+
+    Returns 0 when the provider has no presence on one of the coasts
+    (nothing to partition).
+    """
+    sub = nx.Graph()
+    for conduit in fiber_map.conduits.values():
+        if isp in conduit.tenants:
+            sub.add_edge(*conduit.edge, capacity=1)
+    west = [c for c in sub if city_by_name(c).lon <= _WEST_LON]
+    east = [c for c in sub if city_by_name(c).lon >= _EAST_LON]
+    if not west or not east:
+        return 0
+    source, sink = "__W__", "__E__"
+    for city in west:
+        sub.add_edge(source, city, capacity=10**6)
+    for city in east:
+        sub.add_edge(sink, city, capacity=10**6)
+    value, _ = nx.minimum_cut(sub, source, sink, capacity="capacity")
+    return int(value)

@@ -1,0 +1,139 @@
+"""Traffic shift under failures: what users feel when a conduit dies.
+
+The impact module measures topology-level damage; this one measures the
+traffic-level consequence.  After a cut event, every router adjacency
+whose fiber ran through a severed conduit disappears; affected
+traceroutes re-route over the degraded topology (or black-hole).  The
+result is the RTT-inflation distribution the measurement hosts would
+observe — the paper's localized-outage discussion (§7) made concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.resilience.cuts import CutEvent
+from repro.traceroute.probe import ProbeEngine, TracerouteRecord
+from repro.traceroute.topology import InternetTopology
+
+
+class DegradedTopology:
+    """A read-only view of a topology with cut conduits removed.
+
+    Implements the subset of the :class:`InternetTopology` interface the
+    probe engine uses, so traces can be re-run over the degraded network
+    without rebuilding routers or addressing.
+    """
+
+    def __init__(self, topology: InternetTopology, event: CutEvent):
+        self._topology = topology
+        self._event = event
+        graph = topology.graph.copy()
+        dead_edges = []
+        for u, v, data in graph.edges(data=True):
+            if data.get("kind") != "intra":
+                continue
+            isp = data.get("isp")
+            conduits = topology.conduits_for_hop(isp, u[1], v[1])
+            if set(conduits) & event.conduit_ids:
+                dead_edges.append((u, v))
+        graph.remove_edges_from(dead_edges)
+        self._graph = graph
+        self._dead_edges = tuple(dead_edges)
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def dead_router_adjacencies(self) -> Tuple:
+        return self._dead_edges
+
+    # Delegated interface (what ProbeEngine needs).
+    def uses_mpls(self, isp: str) -> bool:
+        return self._topology.uses_mpls(isp)
+
+    def router(self, isp: str, city_key: str):
+        return self._topology.router(isp, city_key)
+
+    def has_router(self, isp: str, city_key: str) -> bool:
+        return self._topology.has_router(isp, city_key)
+
+
+@dataclass(frozen=True)
+class TrafficShiftReport:
+    """RTT consequences of one cut for a traced workload."""
+
+    event_description: str
+    #: Traces re-examined (those whose endpoints could be affected).
+    traces_examined: int
+    #: Traces whose end-to-end RTT grew.
+    traces_slower: int
+    #: Traces that lost connectivity entirely.
+    traces_blackholed: int
+    #: Mean / p95 end-to-end RTT inflation (ms) over slower traces.
+    mean_inflation_ms: float
+    p95_inflation_ms: float
+
+    @property
+    def affected_fraction(self) -> float:
+        if self.traces_examined == 0:
+            return 0.0
+        return (self.traces_slower + self.traces_blackholed) / self.traces_examined
+
+
+def traffic_shift(
+    topology: InternetTopology,
+    event: CutEvent,
+    records: Sequence[TracerouteRecord],
+    seed: int = 67,
+    max_traces: Optional[int] = 2000,
+) -> TrafficShiftReport:
+    """Re-trace a workload over the degraded topology after *event*.
+
+    Each record's (src, dst) is re-run on both the intact and the
+    degraded topology with the same noise seed, so the RTT difference
+    isolates the routing change.
+    """
+    degraded = DegradedTopology(topology, event)
+    baseline_engine = ProbeEngine(topology, seed=seed)
+    degraded_engine = ProbeEngine(degraded, seed=seed)  # type: ignore[arg-type]
+    sample = list(records[:max_traces]) if max_traces else list(records)
+    examined = 0
+    slower = 0
+    blackholed = 0
+    inflations: List[float] = []
+    seen = set()
+    for record in sample:
+        key = (record.src_city, record.src_isp, record.dst_city, record.dst_isp)
+        if key in seen:
+            continue
+        seen.add(key)
+        examined += 1
+        before = baseline_engine.trace(*key)
+        after = degraded_engine.trace(*key)
+        if not before.reached or not before.hops:
+            continue
+        if not after.reached or not after.hops:
+            blackholed += 1
+            continue
+        delta = after.hops[-1].rtt_ms - before.hops[-1].rtt_ms
+        if delta > 0.5:  # beyond queueing noise
+            slower += 1
+            inflations.append(delta)
+    inflations.sort()
+    mean = sum(inflations) / len(inflations) if inflations else 0.0
+    p95 = (
+        inflations[int(0.95 * (len(inflations) - 1))] if inflations else 0.0
+    )
+    return TrafficShiftReport(
+        event_description=event.description,
+        traces_examined=examined,
+        traces_slower=slower,
+        traces_blackholed=blackholed,
+        mean_inflation_ms=mean,
+        p95_inflation_ms=p95,
+    )

@@ -1,0 +1,36 @@
+"""Shared-risk analysis (§4): the risk matrix and its metrics.
+
+* :mod:`repro.risk.matrix` — the ISP × conduit risk matrix of §4.1.
+* :mod:`repro.risk.metrics` — connectivity-only metrics (§4.2):
+  sharing counts, ISP ranking, most-shared conduits.
+* :mod:`repro.risk.hamming` — risk-profile similarity via Hamming
+  distance (Figure 8).
+* :mod:`repro.risk.traffic` — connectivity + traffic metrics (§4.3) on
+  top of a traceroute overlay.
+"""
+
+from repro.risk.hamming import hamming_distance_matrix, risk_profile_similarity
+from repro.risk.matrix import RiskMatrix
+from repro.risk.metrics import (
+    IspRankRow,
+    conduits_shared_by_at_least,
+    isp_ranking,
+    most_shared_conduits,
+    sharing_cdf,
+    sharing_fractions,
+)
+from repro.risk.traffic import TrafficRiskReport, traffic_risk_report
+
+__all__ = [
+    "RiskMatrix",
+    "conduits_shared_by_at_least",
+    "sharing_fractions",
+    "sharing_cdf",
+    "isp_ranking",
+    "IspRankRow",
+    "most_shared_conduits",
+    "hamming_distance_matrix",
+    "risk_profile_similarity",
+    "TrafficRiskReport",
+    "traffic_risk_report",
+]

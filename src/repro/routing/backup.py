@@ -1,0 +1,157 @@
+"""Primary/backup path planning with SRLG avoidance.
+
+For a provider and a city pair: the primary is its minimum-delay path
+over its own footprint; the backup minimizes delay subject to avoiding
+the primary's shared-risk groups — strictly when possible, otherwise
+with a heavy penalty per shared group (the practical compromise when a
+provider's footprint cannot offer full diversity, which, per §4.2, is
+exactly Suddenlink's situation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.fibermap.elements import FiberMap
+from repro.geo.coords import fiber_delay_ms
+from repro.routing.srlg import path_srlgs, shared_srlgs
+from repro.transport.network import EdgeKey
+
+#: Penalty (km-equivalent) per shared risk group when strict disjointness
+#: is impossible.
+SRLG_PENALTY_KM = 5000.0
+
+
+@dataclass(frozen=True)
+class BackupPlan:
+    """A primary/backup pair for one provider and city pair."""
+
+    isp: str
+    endpoints: EdgeKey
+    primary_conduits: Tuple[str, ...]
+    backup_conduits: Optional[Tuple[str, ...]]
+    primary_delay_ms: float
+    backup_delay_ms: Optional[float]
+    shared_groups: FrozenSet[EdgeKey]
+
+    @property
+    def fully_diverse(self) -> bool:
+        """True when the backup shares no risk group with the primary."""
+        return self.backup_conduits is not None and not self.shared_groups
+
+    @property
+    def protected(self) -> bool:
+        """True when any backup exists at all."""
+        return self.backup_conduits is not None
+
+
+def _footprint_graph(fiber_map: FiberMap, isp: str) -> nx.Graph:
+    graph = nx.Graph()
+    for cid, conduit in sorted(fiber_map.conduits.items()):
+        if isp not in conduit.tenants:
+            continue
+        a, b = conduit.edge
+        data = graph.get_edge_data(a, b)
+        if data is None or conduit.length_km < data["length_km"]:
+            graph.add_edge(
+                a, b, conduit_id=cid, length_km=conduit.length_km
+            )
+    return graph
+
+
+def _path_conduits(graph: nx.Graph, path: List[str]) -> Tuple[str, ...]:
+    return tuple(graph[u][v]["conduit_id"] for u, v in zip(path, path[1:]))
+
+
+def _path_km(graph: nx.Graph, path: List[str]) -> float:
+    return sum(graph[u][v]["length_km"] for u, v in zip(path, path[1:]))
+
+
+def plan_backup(
+    fiber_map: FiberMap,
+    isp: str,
+    a_key: str,
+    b_key: str,
+) -> Optional[BackupPlan]:
+    """Plan a primary and an SRLG-diverse backup path.
+
+    Returns ``None`` when the provider cannot connect the pair at all.
+    The backup is ``None`` (unprotected) when removing the primary's
+    risk groups disconnects the pair *and* no penalized alternative
+    distinct from the primary exists.
+    """
+    graph = _footprint_graph(fiber_map, isp)
+    try:
+        primary_path = nx.shortest_path(graph, a_key, b_key, weight="length_km")
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+    primary = _path_conduits(graph, primary_path)
+    primary_km = _path_km(graph, primary_path)
+    primary_groups = path_srlgs(fiber_map, primary)
+
+    # Strict attempt: remove every edge in a primary risk group.
+    strict = graph.copy()
+    for edge in primary_groups:
+        if strict.has_edge(*edge):
+            strict.remove_edge(*edge)
+    backup: Optional[Tuple[str, ...]] = None
+    backup_km: Optional[float] = None
+    try:
+        backup_path = nx.shortest_path(strict, a_key, b_key, weight="length_km")
+        backup = _path_conduits(strict, backup_path)
+        backup_km = _path_km(strict, backup_path)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        # Penalized attempt: allow overlap at a steep price.
+        penalized = graph.copy()
+        for edge in primary_groups:
+            if penalized.has_edge(*edge):
+                penalized[edge[0]][edge[1]]["length_km"] += SRLG_PENALTY_KM
+        try:
+            backup_path = nx.shortest_path(
+                penalized, a_key, b_key, weight="length_km"
+            )
+            candidate = _path_conduits(graph, backup_path)
+            if candidate != primary:
+                backup = candidate
+                backup_km = _path_km(graph, backup_path)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):  # pragma: no cover
+            backup = None
+    shared = (
+        shared_srlgs(fiber_map, primary, backup)
+        if backup is not None
+        else frozenset()
+    )
+    return BackupPlan(
+        isp=isp,
+        endpoints=(primary_path[0], primary_path[-1]),
+        primary_conduits=primary,
+        backup_conduits=backup,
+        primary_delay_ms=fiber_delay_ms(primary_km),
+        backup_delay_ms=fiber_delay_ms(backup_km) if backup_km is not None else None,
+        shared_groups=shared,
+    )
+
+
+def protection_report(
+    fiber_map: FiberMap,
+    isp: str,
+    max_pairs: Optional[int] = 100,
+) -> Tuple[int, int, int]:
+    """(fully diverse, protected-but-shared, unprotected) counts over the
+    provider's link pairs."""
+    pairs = sorted({l.endpoints for l in fiber_map.links_of(isp)})
+    if max_pairs is not None:
+        pairs = pairs[:max_pairs]
+    diverse = shared = unprotected = 0
+    for a, b in pairs:
+        plan = plan_backup(fiber_map, isp, a, b)
+        if plan is None or not plan.protected:
+            unprotected += 1
+        elif plan.fully_diverse:
+            diverse += 1
+        else:
+            shared += 1
+    return diverse, shared, unprotected

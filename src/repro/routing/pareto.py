@@ -1,0 +1,117 @@
+"""Risk-latency Pareto routing (RiskRoute-style, paper reference [84]).
+
+A path between two cities trades propagation delay against shared risk:
+the fastest route usually rides the busiest trunk conduits.  This module
+enumerates the Pareto frontier of (delay, risk) for a provider and a
+city pair, so an operator can pick the exact trade-off — e.g. "the
+fastest path whose worst conduit has at most 8 tenants".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.fibermap.elements import FiberMap
+from repro.geo.coords import fiber_delay_ms
+from repro.transport.network import EdgeKey
+
+
+@dataclass(frozen=True)
+class ParetoPath:
+    """One non-dominated (delay, risk) routing option."""
+
+    conduit_ids: Tuple[str, ...]
+    delay_ms: float
+    #: Worst tenant count along the path (bottleneck risk).
+    max_risk: int
+    #: Total tenant count along the path (additive risk).
+    total_risk: int
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.conduit_ids)
+
+
+def _footprint_graph(fiber_map: FiberMap, isp: Optional[str]) -> nx.Graph:
+    graph = nx.Graph()
+    for cid, conduit in sorted(fiber_map.conduits.items()):
+        if isp is not None and isp not in conduit.tenants:
+            continue
+        a, b = conduit.edge
+        data = graph.get_edge_data(a, b)
+        if data is None or conduit.num_tenants < data["risk"]:
+            graph.add_edge(
+                a, b,
+                conduit_id=cid,
+                length_km=conduit.length_km,
+                risk=conduit.num_tenants,
+            )
+    return graph
+
+
+def pareto_paths(
+    fiber_map: FiberMap,
+    a_key: str,
+    b_key: str,
+    isp: Optional[str] = None,
+) -> List[ParetoPath]:
+    """The (delay, bottleneck-risk) Pareto frontier between two cities.
+
+    Sweeps the bottleneck threshold: for each feasible maximum tenant
+    count, the shortest-delay path using only conduits at or below it.
+    Dominated options are discarded; the result is sorted fastest first.
+    Restricting to *isp* uses only that provider's footprint.
+    """
+    graph = _footprint_graph(fiber_map, isp)
+    if a_key not in graph or b_key not in graph:
+        return []
+    levels = sorted({d["risk"] for _, _, d in graph.edges(data=True)})
+    options: List[ParetoPath] = []
+    for level in levels:
+        sub = nx.Graph()
+        for u, v, d in graph.edges(data=True):
+            if d["risk"] <= level:
+                sub.add_edge(u, v, **d)
+        if a_key not in sub or b_key not in sub:
+            continue
+        try:
+            path = nx.shortest_path(sub, a_key, b_key, weight="length_km")
+        except nx.NetworkXNoPath:
+            continue
+        km = sum(sub[u][v]["length_km"] for u, v in zip(path, path[1:]))
+        risks = [sub[u][v]["risk"] for u, v in zip(path, path[1:])]
+        option = ParetoPath(
+            conduit_ids=tuple(
+                sub[u][v]["conduit_id"] for u, v in zip(path, path[1:])
+            ),
+            delay_ms=fiber_delay_ms(km),
+            max_risk=max(risks),
+            total_risk=sum(risks),
+        )
+        options.append(option)
+    # Keep the non-dominated set over (delay, max_risk).
+    options.sort(key=lambda o: (o.delay_ms, o.max_risk))
+    frontier: List[ParetoPath] = []
+    best_risk = None
+    for option in options:
+        if best_risk is None or option.max_risk < best_risk:
+            frontier.append(option)
+            best_risk = option.max_risk
+    return frontier
+
+
+def best_under_risk_budget(
+    fiber_map: FiberMap,
+    a_key: str,
+    b_key: str,
+    max_tenants: int,
+    isp: Optional[str] = None,
+) -> Optional[ParetoPath]:
+    """Fastest path whose worst conduit has at most *max_tenants*."""
+    for option in pareto_paths(fiber_map, a_key, b_key, isp):
+        if option.max_risk <= max_tenants:
+            return option
+    return None

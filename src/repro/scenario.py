@@ -1,0 +1,178 @@
+"""The canonical **US2015** scenario: everything wired together.
+
+One object builds (lazily, with caching) every artifact the paper's
+analyses need: the ground-truth world, the published maps and records,
+the §2 constructed map, the router-level topology, a traceroute
+campaign, its conduit overlay, and the §4 risk matrix.  All components
+derive deterministically from the scenario seed.
+
+    >>> from repro import us2015
+    >>> scenario = us2015()
+    >>> scenario.constructed_map.stats()
+    MapStats(...)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.fibermap.elements import FiberMap
+from repro.fibermap.pipeline import ConstructionReport, MapConstructionPipeline
+from repro.fibermap.publish import ProviderMap, publish_provider_maps
+from repro.fibermap.records import RecordsCorpus, generate_records
+from repro.fibermap.synthesis import GroundTruth, synthesize_ground_truth
+from repro.risk.matrix import RiskMatrix
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.geolocate import GeolocationDatabase
+from repro.traceroute.overlay import TrafficOverlay
+from repro.traceroute.probe import ProbeEngine, TracerouteRecord
+from repro.traceroute.topology import InternetTopology
+from repro.transport.network import TransportationNetwork
+
+#: Default campaign size.  The paper used 4.9M traceroutes over three
+#: months; 20k keeps the same top-conduit and top-ISP orderings at
+#: interactive runtimes (scale up via ``Scenario(campaign_traces=...)``).
+DEFAULT_CAMPAIGN_TRACES = 20000
+
+
+class Scenario:
+    """A fully wired reproduction scenario.
+
+    Every property is computed on first access and cached; all
+    randomness is seeded from ``seed``, so two scenarios with the same
+    arguments are identical.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2015,
+        campaign_traces: int = DEFAULT_CAMPAIGN_TRACES,
+    ):
+        self.seed = seed
+        self.campaign_traces = campaign_traces
+        self._ground_truth: Optional[GroundTruth] = None
+        self._provider_maps: Optional[Dict[str, ProviderMap]] = None
+        self._corpus: Optional[RecordsCorpus] = None
+        self._constructed: Optional[FiberMap] = None
+        self._report: Optional[ConstructionReport] = None
+        self._topology: Optional[InternetTopology] = None
+        self._engine: Optional[ProbeEngine] = None
+        self._campaign: Optional[List[TracerouteRecord]] = None
+        self._database: Optional[GeolocationDatabase] = None
+        self._overlay: Optional[TrafficOverlay] = None
+        self._matrix: Optional[RiskMatrix] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def ground_truth(self) -> GroundTruth:
+        if self._ground_truth is None:
+            self._ground_truth = synthesize_ground_truth(self.seed)
+        return self._ground_truth
+
+    @property
+    def network(self) -> TransportationNetwork:
+        return self.ground_truth.network
+
+    @property
+    def provider_maps(self) -> Dict[str, ProviderMap]:
+        if self._provider_maps is None:
+            self._provider_maps = publish_provider_maps(
+                self.ground_truth, seed=self.seed + 1
+            )
+        return self._provider_maps
+
+    @property
+    def records(self) -> RecordsCorpus:
+        if self._corpus is None:
+            self._corpus = generate_records(
+                self.ground_truth, seed=self.seed + 2
+            )
+        return self._corpus
+
+    def _run_pipeline(self) -> None:
+        pipeline = MapConstructionPipeline(
+            self.ground_truth,
+            provider_maps=self.provider_maps,
+            corpus=self.records,
+        )
+        self._constructed, self._report = pipeline.run()
+
+    @property
+    def constructed_map(self) -> FiberMap:
+        """The §2 four-step constructed map (what all analyses use)."""
+        if self._constructed is None:
+            self._run_pipeline()
+        return self._constructed
+
+    @property
+    def construction_report(self) -> ConstructionReport:
+        if self._report is None:
+            self._run_pipeline()
+        return self._report
+
+    @property
+    def topology(self) -> InternetTopology:
+        if self._topology is None:
+            self._topology = InternetTopology(
+                self.ground_truth, seed=self.seed + 3
+            )
+        return self._topology
+
+    @property
+    def probe_engine(self) -> ProbeEngine:
+        if self._engine is None:
+            self._engine = ProbeEngine(self.topology, seed=self.seed + 4)
+        return self._engine
+
+    @property
+    def campaign(self) -> List[TracerouteRecord]:
+        if self._campaign is None:
+            config = CampaignConfig(
+                num_traces=self.campaign_traces, seed=self.seed + 5
+            )
+            self._campaign = run_campaign(
+                self.topology, config, engine=self.probe_engine
+            )
+        return self._campaign
+
+    @property
+    def geolocation(self) -> GeolocationDatabase:
+        if self._database is None:
+            self._database = GeolocationDatabase(
+                self.topology, seed=self.seed + 6
+            )
+        return self._database
+
+    @property
+    def overlay(self) -> TrafficOverlay:
+        """The §4.3 traffic overlay, populated with the full campaign."""
+        if self._overlay is None:
+            overlay = TrafficOverlay(
+                self.constructed_map, self.topology, self.geolocation
+            )
+            overlay.add_traces(self.campaign)
+            self._overlay = overlay
+        return self._overlay
+
+    @property
+    def risk_matrix(self) -> RiskMatrix:
+        """The §4.1 risk matrix over the 20 studied providers."""
+        if self._matrix is None:
+            self._matrix = RiskMatrix(
+                self.constructed_map,
+                isps=[p.name for p in self.ground_truth.profiles],
+            )
+        return self._matrix
+
+    @property
+    def isps(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.ground_truth.profiles)
+
+
+@lru_cache(maxsize=4)
+def us2015(
+    seed: int = 2015, campaign_traces: int = DEFAULT_CAMPAIGN_TRACES
+) -> Scenario:
+    """The canonical scenario, cached so experiments share one instance."""
+    return Scenario(seed=seed, campaign_traces=campaign_traces)

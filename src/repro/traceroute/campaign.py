@@ -1,0 +1,123 @@
+"""Campaign generation: the Edgescope-style measurement workload.
+
+The paper's data come from BitTorrent clients in diverse locations
+(Edgescope [80]) probing peers and services: clients sit in residential
+access networks (cable MSOs and consumer ISPs) weighted by population,
+and destinations concentrate in content cities hosted on transit
+backbones — which is why Level 3 dominates the observed conduit usage
+(Table 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.cities import city_by_name
+from repro.traceroute.probe import ProbeEngine, TracerouteRecord
+from repro.traceroute.topology import InternetTopology
+
+#: Residential access providers clients sit behind, with mix weights.
+DEFAULT_CLIENT_ISPS: Tuple[Tuple[str, float], ...] = (
+    ("Comcast", 4.0),
+    ("TWC", 3.0),
+    ("Cox", 2.0),
+    ("Suddenlink", 1.0),
+    ("Verizon", 2.5),
+    ("AT&T", 2.5),
+)
+
+#: Destination hosting providers, with mix weights.  Level 3's dominance
+#: here reflects its role as the largest content-transit backbone.
+DEFAULT_DEST_ISPS: Tuple[Tuple[str, float], ...] = (
+    ("Level 3", 6.0),
+    ("Cogent", 2.0),
+    ("SoftLayer", 2.0),
+    ("AT&T", 1.5),
+    ("Verizon", 1.2),
+    ("Comcast", 1.5),
+    ("CenturyLink", 1.0),
+    ("MFN", 0.8),
+    ("XO", 0.8),
+    ("Zayo", 0.7),
+    ("NTT", 0.6),
+    ("Cox", 0.6),
+    ("Sprint", 0.6),
+    ("GTT", 0.4),
+)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one measurement campaign."""
+
+    num_traces: int = 20000
+    seed: int = 41
+    client_isps: Tuple[Tuple[str, float], ...] = DEFAULT_CLIENT_ISPS
+    dest_isps: Tuple[Tuple[str, float], ...] = DEFAULT_DEST_ISPS
+    #: Destination cities are weighted by population to this power
+    #: (content concentrates in big metros).
+    dest_population_exponent: float = 1.3
+    #: Client cities are weighted by population to this power.
+    client_population_exponent: float = 0.9
+
+
+def _weighted_cities(
+    topology: InternetTopology, isp: str, exponent: float
+) -> Tuple[List[str], List[float]]:
+    cities = topology.cities_of(isp)
+    weights = [
+        max(1.0, float(city_by_name(c).population)) ** exponent for c in cities
+    ]
+    return cities, weights
+
+
+def run_campaign(
+    topology: InternetTopology,
+    config: Optional[CampaignConfig] = None,
+    engine: Optional[ProbeEngine] = None,
+) -> List[TracerouteRecord]:
+    """Generate a full campaign of traceroutes, deterministically.
+
+    Unreachable picks (client provider absent from a city, etc.) are
+    skipped and retried, so the result always has ``num_traces`` records
+    unless the topology is pathologically disconnected.
+    """
+    config = config if config is not None else CampaignConfig()
+    rng = random.Random(config.seed)
+    if engine is None:
+        engine = ProbeEngine(topology, seed=config.seed + 1)
+    available = set(topology.providers())
+    client_isps = [(i, w) for i, w in config.client_isps if i in available]
+    dest_isps = [(i, w) for i, w in config.dest_isps if i in available]
+    if not client_isps or not dest_isps:
+        raise ValueError("no usable client or destination providers")
+    client_names = [i for i, _ in client_isps]
+    client_weights = [w for _, w in client_isps]
+    dest_names = [i for i, _ in dest_isps]
+    dest_weights = [w for _, w in dest_isps]
+    city_cache: Dict[Tuple[str, float], Tuple[List[str], List[float]]] = {}
+
+    def pick_city(isp: str, exponent: float) -> str:
+        key = (isp, exponent)
+        if key not in city_cache:
+            city_cache[key] = _weighted_cities(topology, isp, exponent)
+        cities, weights = city_cache[key]
+        return rng.choices(cities, weights=weights, k=1)[0]
+
+    records: List[TracerouteRecord] = []
+    attempts = 0
+    max_attempts = config.num_traces * 10
+    while len(records) < config.num_traces and attempts < max_attempts:
+        attempts += 1
+        src_isp = rng.choices(client_names, weights=client_weights, k=1)[0]
+        dst_isp = rng.choices(dest_names, weights=dest_weights, k=1)[0]
+        src_city = pick_city(src_isp, config.client_population_exponent)
+        dst_city = pick_city(dst_isp, config.dest_population_exponent)
+        if src_city == dst_city and src_isp == dst_isp:
+            continue
+        record = engine.trace(src_city, src_isp, dst_city, dst_isp)
+        if record.reached:
+            records.append(record)
+    return records

@@ -1,0 +1,99 @@
+"""IP geolocation and DNS naming-hint decoding.
+
+The paper resolves traceroute hops to places "by using geolocation
+information and naming hints in the traceroute data [78, 92]".  Naming
+hints (airport/city codes embedded in router names) are authoritative
+when present; the geolocation database is right most of the time but
+occasionally snaps to a nearby city or fails — the standard error modes
+of commercial IP geolocation.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Dict, Optional
+
+from repro.data.cities import CITIES, city_by_code, city_by_name, nearest_city
+from repro.fibermap.synthesis import _stable_unit
+from repro.traceroute.topology import InternetTopology
+
+#: Probability the database returns the correct city.
+DEFAULT_ACCURACY = 0.85
+#: Probability it returns a nearby (wrong) city; the remainder is "unknown".
+DEFAULT_NEAR_MISS = 0.10
+
+_HINT_RE = re.compile(r"^ae-\d+\.cr\d+\.([a-z0-9]+)\.")
+
+
+def decode_naming_hint(dns_name: str) -> Optional[str]:
+    """City key encoded in a router DNS name, if any.
+
+    Implements the DRoP-style decoding of [92]: the third label of
+    ``ae-1.cr1.<code>.<provider>.net`` is a city code.
+    """
+    match = _HINT_RE.match(dns_name)
+    if not match:
+        return None
+    code = match.group(1)
+    try:
+        return city_by_code(code).key
+    except KeyError:
+        return None
+
+
+class GeolocationDatabase:
+    """A noisy commercial-style IP geolocation database.
+
+    Built once against a topology's address plan; per-IP results are
+    deterministic (the same IP always geolocates to the same answer).
+    """
+
+    def __init__(
+        self,
+        topology: InternetTopology,
+        accuracy: float = DEFAULT_ACCURACY,
+        near_miss: float = DEFAULT_NEAR_MISS,
+        seed: int = 57,
+    ):
+        if accuracy + near_miss > 1.0:
+            raise ValueError("accuracy + near_miss must be <= 1")
+        self._entries: Dict[str, Optional[str]] = {}
+        rng = random.Random(seed)
+        for isp in topology.providers():
+            for router in topology.routers_of(isp):
+                u = _stable_unit(f"geo|{router.ip}|{seed}")
+                if u < accuracy:
+                    answer: Optional[str] = router.city_key
+                elif u < accuracy + near_miss:
+                    true_city = city_by_name(router.city_key)
+                    pool = [
+                        c
+                        for c in CITIES
+                        if c.key != true_city.key
+                        and true_city.distance_km(c) < 150.0
+                    ]
+                    if pool:
+                        answer = rng.choice(sorted(pool, key=lambda c: c.key)).key
+                    else:
+                        answer = router.city_key
+                else:
+                    answer = None
+                self._entries[router.ip] = answer
+
+    def locate(self, ip: str) -> Optional[str]:
+        """City key for *ip*, or ``None`` when the database has no answer."""
+        return self._entries.get(ip)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def resolve_hop_city(
+    dns_name: str, ip: str, database: GeolocationDatabase
+) -> Optional[str]:
+    """Best-effort hop location: naming hint first, then geolocation."""
+    hint = decode_naming_hint(dns_name)
+    if hint is not None:
+        return hint
+    return database.locate(ip)

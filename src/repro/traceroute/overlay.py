@@ -1,0 +1,229 @@
+"""Overlaying layer-3 traceroute paths onto the physical conduit map.
+
+This is the §4.3 analysis: "By using geolocation information and naming
+hints in the traceroute data, we are able to overlay individual layer 3
+links onto our underlying physical map of Internet infrastructure."  The
+overlay works entirely from observables — hop DNS names, IPs, and the
+constructed (not ground-truth) map — so geolocation noise, MPLS gaps,
+and unknown providers affect it the same way they affected the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.data.cities import city_by_name
+from repro.fibermap.elements import FiberMap
+from repro.traceroute.geolocate import GeolocationDatabase, resolve_hop_city
+from repro.traceroute.probe import TracerouteRecord
+from repro.traceroute.topology import InternetTopology, _slug
+
+#: Direction labels for the Table 2 / Table 3 split.
+WEST_TO_EAST = "west_to_east"
+EAST_TO_WEST = "east_to_west"
+
+
+@dataclass
+class ConduitTraffic:
+    """Accumulated probe traffic over one conduit."""
+
+    conduit_id: str
+    endpoints: Tuple[str, str]
+    total: int = 0
+    west_to_east: int = 0
+    east_to_west: int = 0
+    observed_isps: Set[str] = field(default_factory=set)
+
+    def count(self, direction: str) -> None:
+        self.total += 1
+        if direction == WEST_TO_EAST:
+            self.west_to_east += 1
+        else:
+            self.east_to_west += 1
+
+
+class TrafficOverlay:
+    """Maps traceroute hop pairs onto conduits of a constructed map."""
+
+    def __init__(
+        self,
+        fiber_map: FiberMap,
+        topology: InternetTopology,
+        database: GeolocationDatabase,
+    ):
+        self._map = fiber_map
+        self._topology = topology
+        self._database = database
+        self._slug_to_isp: Dict[str, str] = {
+            _slug(name): name for name in topology.providers()
+        }
+        self._traffic: Dict[str, ConduitTraffic] = {}
+        self._generic_graph = fiber_map.simple_conduit_graph()
+        self._isp_graphs: Dict[str, nx.Graph] = {}
+        self._path_cache: Dict[Tuple[str, str, str], Optional[Tuple[str, ...]]] = {}
+        self._traces_processed = 0
+        self._hops_unresolved = 0
+
+    # ------------------------------------------------------------------
+    # Hop interpretation
+    # ------------------------------------------------------------------
+    def _isp_from_name(self, dns_name: str) -> Optional[str]:
+        parts = dns_name.split(".")
+        if len(parts) < 2:
+            return None
+        return self._slug_to_isp.get(parts[-2])
+
+    def _conduit_path(
+        self, isp: Optional[str], city_a: str, city_b: str
+    ) -> Optional[Tuple[str, ...]]:
+        """Conduit ids between two hop cities, using the ISP's footprint
+        in the constructed map when it has one, else the generic map."""
+        key = (isp or "*", city_a, city_b)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        graph = None
+        if isp is not None and isp in self._map.isps():
+            graph = self._isp_graphs.get(isp)
+            if graph is None:
+                graph = self._map.simple_conduit_graph(isp)
+                self._isp_graphs[isp] = graph
+            if city_a not in graph or city_b not in graph:
+                graph = None
+        if graph is None:
+            graph = self._generic_graph
+        result: Optional[Tuple[str, ...]] = None
+        try:
+            path = nx.shortest_path(graph, city_a, city_b, weight="length_km")
+            result = tuple(
+                graph[u][v]["conduit_id"] for u, v in zip(path, path[1:])
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            result = None
+        self._path_cache[key] = result
+        return result
+
+    @staticmethod
+    def _direction(src_city: str, dst_city: str) -> str:
+        src_lon = city_by_name(src_city).lon
+        dst_lon = city_by_name(dst_city).lon
+        return WEST_TO_EAST if src_lon <= dst_lon else EAST_TO_WEST
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_trace(self, record: TracerouteRecord) -> None:
+        """Overlay one traceroute onto the conduit map."""
+        if not record.reached or len(record.hops) < 2:
+            return
+        self._traces_processed += 1
+        direction = self._direction(record.src_city, record.dst_city)
+        previous_city: Optional[str] = None
+        previous_isp: Optional[str] = None
+        for hop in record.hops:
+            isp = self._isp_from_name(hop.dns_name)
+            city = resolve_hop_city(hop.dns_name, hop.ip, self._database)
+            if city is None:
+                self._hops_unresolved += 1
+                previous_city, previous_isp = None, isp
+                continue
+            if (
+                previous_city is not None
+                and previous_isp is not None
+                and isp == previous_isp
+                and city != previous_city
+            ):
+                conduits = self._conduit_path(isp, previous_city, city)
+                if conduits:
+                    for conduit_id in conduits:
+                        self._count(conduit_id, direction, isp)
+            previous_city, previous_isp = city, isp
+
+    def add_traces(self, records: Iterable[TracerouteRecord]) -> None:
+        for record in records:
+            self.add_trace(record)
+
+    def _count(self, conduit_id: str, direction: str, isp: Optional[str]) -> None:
+        traffic = self._traffic.get(conduit_id)
+        if traffic is None:
+            conduit = self._map.conduit(conduit_id)
+            traffic = ConduitTraffic(
+                conduit_id=conduit_id, endpoints=conduit.edge
+            )
+            self._traffic[conduit_id] = traffic
+        traffic.count(direction)
+        if isp is not None:
+            traffic.observed_isps.add(isp)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def traces_processed(self) -> int:
+        return self._traces_processed
+
+    @property
+    def hops_unresolved(self) -> int:
+        return self._hops_unresolved
+
+    def traffic(self) -> Dict[str, ConduitTraffic]:
+        return dict(self._traffic)
+
+    def top_conduits(
+        self, direction: str, top: int = 20
+    ) -> List[Tuple[Tuple[str, str], int]]:
+        """Tables 2 / 3: most probed conduits in one direction."""
+        if direction not in (WEST_TO_EAST, EAST_TO_WEST):
+            raise ValueError(f"unknown direction: {direction}")
+        rows = [
+            (
+                t.endpoints,
+                t.west_to_east if direction == WEST_TO_EAST else t.east_to_west,
+            )
+            for t in self._traffic.values()
+        ]
+        rows = [r for r in rows if r[1] > 0]
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows[:top]
+
+    def isp_conduit_usage(self) -> List[Tuple[str, int]]:
+        """Table 4: providers ranked by conduits observed carrying their
+        probe traffic."""
+        usage: Dict[str, Set[str]] = {}
+        for conduit_id, traffic in self._traffic.items():
+            for isp in traffic.observed_isps:
+                usage.setdefault(isp, set()).add(conduit_id)
+        rows = [(isp, len(conduits)) for isp, conduits in usage.items()]
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows
+
+    def effective_tenants(self, conduit_id: str) -> FrozenSet[str]:
+        """Constructed-map tenants plus providers observed via traceroute."""
+        tenants = set(self._map.conduit(conduit_id).tenants)
+        traffic = self._traffic.get(conduit_id)
+        if traffic is not None:
+            tenants |= traffic.observed_isps
+        return frozenset(tenants)
+
+    def inferred_additional_isps(self, conduit_id: str) -> FrozenSet[str]:
+        """Providers seen on a conduit that the map did not list as tenants."""
+        traffic = self._traffic.get(conduit_id)
+        if traffic is None:
+            return frozenset()
+        return frozenset(
+            traffic.observed_isps - self._map.conduit(conduit_id).tenants
+        )
+
+    def sharing_cdf_with_traffic(self) -> List[Tuple[int, float]]:
+        """Figure 9, dashed line: CDF of effective tenant counts."""
+        counts = sorted(
+            len(self.effective_tenants(cid)) for cid in self._map.conduits
+        )
+        total = max(1, len(counts))
+        maximum = counts[-1] if counts else 0
+        return [
+            (k, sum(1 for c in counts if c <= k) / total)
+            for k in range(0, maximum + 1)
+        ]

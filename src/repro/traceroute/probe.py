@@ -1,0 +1,148 @@
+"""The traceroute simulator.
+
+Routes a probe across the router-level topology (intra-provider fiber
+latencies plus peering penalties), then renders what a measurement host
+would actually observe: per-hop IP, reverse-DNS name, and RTT, with MPLS
+providers hiding their interior hops and per-hop queueing noise on the
+timestamps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.traceroute.topology import InternetTopology
+
+#: Client access-network delay added to every RTT sample, milliseconds.
+ACCESS_DELAY_MS = 4.0
+#: Upper bound of uniform per-hop queueing noise, milliseconds.
+QUEUE_NOISE_MS = 0.8
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One observed traceroute hop."""
+
+    ip: str
+    dns_name: str
+    rtt_ms: float
+
+
+@dataclass(frozen=True)
+class TracerouteRecord:
+    """One complete traceroute observation."""
+
+    src_city: str
+    src_isp: str
+    dst_city: str
+    dst_isp: str
+    hops: Tuple[Hop, ...]
+    reached: bool
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+
+class ProbeEngine:
+    """Simulates traceroutes over an :class:`InternetTopology`.
+
+    Router-level paths are cached per (source, destination) router pair,
+    so large campaigns re-use the expensive shortest-path computation.
+    """
+
+    def __init__(self, topology: InternetTopology, seed: int = 31):
+        self._topology = topology
+        self._rng = random.Random(seed)
+        # Per-destination shortest-path predecessor maps: campaigns probe
+        # few destinations from many sources, so one Dijkstra per
+        # destination amortizes over thousands of traces.
+        self._pred_cache: Dict[Tuple[str, str], Dict] = {}
+
+    # ------------------------------------------------------------------
+    def _predecessors(self, dst_node: Tuple[str, str]) -> Dict:
+        pred = self._pred_cache.get(dst_node)
+        if pred is None:
+            pred, _dist = nx.dijkstra_predecessor_and_distance(
+                self._topology.graph, dst_node, weight="ms"
+            )
+            self._pred_cache[dst_node] = pred
+        return pred
+
+    def _route(self, src_node: Tuple[str, str], dst_node: Tuple[str, str]):
+        graph = self._topology.graph
+        if src_node not in graph or dst_node not in graph:
+            return None
+        pred = self._predecessors(dst_node)
+        if src_node not in pred:
+            return None
+        # Walk from source toward the Dijkstra root (the destination).
+        path = [src_node]
+        node = src_node
+        while node != dst_node:
+            nexts = pred[node]
+            if not nexts:
+                break
+            node = nexts[0]
+            path.append(node)
+        return path if path[-1] == dst_node else None
+
+    def router_path(
+        self, src_city: str, src_isp: str, dst_city: str, dst_isp: str
+    ) -> Optional[List[Tuple[str, str]]]:
+        """The underlying router-node path, or ``None`` if unreachable."""
+        if not self._topology.has_router(src_isp, src_city):
+            return None
+        if not self._topology.has_router(dst_isp, dst_city):
+            return None
+        return self._route((src_isp, src_city), (dst_isp, dst_city))
+
+    # ------------------------------------------------------------------
+    def trace(
+        self, src_city: str, src_isp: str, dst_city: str, dst_isp: str
+    ) -> TracerouteRecord:
+        """Run one traceroute and render its observable hops."""
+        path = self.router_path(src_city, src_isp, dst_city, dst_isp)
+        if path is None:
+            return TracerouteRecord(
+                src_city=src_city,
+                src_isp=src_isp,
+                dst_city=dst_city,
+                dst_isp=dst_isp,
+                hops=(),
+                reached=False,
+            )
+        graph = self._topology.graph
+        hops: List[Hop] = []
+        one_way = ACCESS_DELAY_MS / 2.0
+        previous = None
+        for index, node in enumerate(path):
+            if previous is not None:
+                one_way += graph[previous][node]["ms"]
+            previous = node
+            isp, _city = node
+            # MPLS providers reveal only their ingress and egress routers.
+            if self._topology.uses_mpls(isp):
+                is_edge_of_isp = (
+                    index == 0
+                    or index == len(path) - 1
+                    or path[index - 1][0] != isp
+                    or path[index + 1][0] != isp
+                )
+                if not is_edge_of_isp:
+                    continue
+            router = self._topology.router(*node)
+            rtt = 2.0 * one_way + self._rng.uniform(0.0, QUEUE_NOISE_MS)
+            hops.append(Hop(ip=router.ip, dns_name=router.dns_name, rtt_ms=rtt))
+        return TracerouteRecord(
+            src_city=src_city,
+            src_isp=src_isp,
+            dst_city=dst_city,
+            dst_isp=dst_isp,
+            hops=tuple(hops),
+            reached=True,
+        )

@@ -1,0 +1,274 @@
+"""Router-level topologies on top of the fiber plant.
+
+Each provider gets one core router per POP city; its router adjacencies
+are its fiber links, with edge latency equal to the propagation delay
+over the link's conduit path.  Providers interconnect at peering cities
+where both have routers.  Two features mirror measurement reality:
+
+* **MPLS opacity** (§4.3: "the prevalent use of MPLS tunnels ... poses
+  one potential pitfall"): some providers hide interior hops;
+* **phantom providers**: networks like SoftLayer and MFN that ride the
+  same conduits but are not among the 20 studied providers — the paper
+  *infers* them from traceroute naming, e.g. "we inferred the presence
+  of an additional 13 ISPs that also share that conduit".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.data.cities import city_by_name
+from repro.fibermap.elements import FiberMap
+from repro.fibermap.synthesis import GroundTruth, _stable_unit
+from repro.geo.coords import fiber_delay_ms
+from repro.traceroute.addressing import AddressPlan
+from repro.transport.network import canonical_edge
+
+#: Extra providers visible in traceroute data but outside the 20-ISP
+#: study (Table 4 lists SoftLayer and MFN among the top carriers).
+PHANTOM_PROVIDERS: Tuple[str, ...] = (
+    "SoftLayer",
+    "MFN",
+    "GTT",
+    "Windstream",
+    "Frontier",
+    "US Signal",
+    "FiberLight",
+    "Lumos",
+    "Fibertech",
+    "Unite Private",
+    "Crown Castle",
+    "Alpheus",
+    "Bluebird",
+)
+
+#: Providers with heavy MPLS deployment hide interior hops.
+MPLS_PROBABILITY = 0.3
+#: Fraction of routers published without a geographic naming hint.
+NO_HINT_PROBABILITY = 0.12
+#: Latency cost of crossing a peering interconnect (processing + metro
+#: cross-connect), milliseconds one-way.
+PEERING_PENALTY_MS = 1.2
+#: Maximum peering cities per provider pair.
+MAX_PEERINGS_PER_PAIR = 6
+
+
+def _slug(isp: str) -> str:
+    return (
+        isp.lower()
+        .replace("&", "")
+        .replace(" ", "")
+        .replace(".", "")
+    )
+
+
+@dataclass(frozen=True)
+class Router:
+    """One core router: the unit of traceroute visibility."""
+
+    isp: str
+    city_key: str
+    ip: str
+    dns_name: str
+    has_hint: bool
+
+    @property
+    def node(self) -> Tuple[str, str]:
+        """Graph node key."""
+        return (self.isp, self.city_key)
+
+
+class InternetTopology:
+    """The simulated router-level Internet over a fiber map.
+
+    Parameters
+    ----------
+    ground_truth:
+        The synthesized world; real providers' router adjacencies come
+        from its fiber links.
+    include_phantoms:
+        Add the phantom providers (default true).
+    seed:
+        Drives phantom footprints, MPLS assignment, and naming-hint gaps.
+    """
+
+    def __init__(
+        self,
+        ground_truth: GroundTruth,
+        include_phantoms: bool = True,
+        seed: int = 23,
+    ):
+        self._gt = ground_truth
+        self._rng = random.Random(seed)
+        self._plan = AddressPlan()
+        self._graph = nx.Graph()
+        self._routers: Dict[Tuple[str, str], Router] = {}
+        self._routers_by_ip: Dict[str, Router] = {}
+        self._mpls: Set[str] = set()
+        self._link_conduits: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+        self._phantom_names: Tuple[str, ...] = ()
+        fiber_map = ground_truth.fiber_map
+        for isp in fiber_map.isps():
+            self._add_provider_from_links(isp, fiber_map)
+        if include_phantoms:
+            self._phantom_names = PHANTOM_PROVIDERS
+            for name in PHANTOM_PROVIDERS:
+                self._add_phantom(name, fiber_map)
+        self._add_peerings()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _router_for(self, isp: str, city_key: str) -> Router:
+        node = (isp, city_key)
+        existing = self._routers.get(node)
+        if existing is not None:
+            return existing
+        ip = self._plan.address_for(isp, city_key)
+        has_hint = _stable_unit(f"hint|{isp}|{city_key}") >= NO_HINT_PROBABILITY
+        code = city_by_name(city_key).code
+        slug = _slug(isp)
+        if has_hint:
+            dns_name = f"ae-1.cr1.{code}.{slug}.net"
+        else:
+            index = len(self._plan._city_index.get(isp, {}))
+            dns_name = f"cr{index}.{slug}.net"
+        router = Router(
+            isp=isp, city_key=city_key, ip=ip, dns_name=dns_name,
+            has_hint=has_hint,
+        )
+        self._routers[node] = router
+        self._routers_by_ip[ip] = router
+        self._graph.add_node(node)
+        return router
+
+    def _add_provider_from_links(self, isp: str, fiber_map: FiberMap) -> None:
+        if _stable_unit(f"mpls|{isp}") < MPLS_PROBABILITY:
+            self._mpls.add(isp)
+        for link in fiber_map.links_of(isp):
+            a, b = link.endpoints
+            ra = self._router_for(isp, a)
+            rb = self._router_for(isp, b)
+            length = sum(
+                fiber_map.conduit(cid).length_km for cid in link.conduit_ids
+            )
+            latency = fiber_delay_ms(length)
+            key = (isp, *canonical_edge(a, b))
+            existing = self._graph.get_edge_data(ra.node, rb.node)
+            if existing is None or latency < existing["ms"]:
+                self._graph.add_edge(
+                    ra.node, rb.node, ms=latency, kind="intra", isp=isp
+                )
+                self._link_conduits[key] = tuple(link.conduit_ids)
+
+    def _add_phantom(self, name: str, fiber_map: FiberMap) -> None:
+        """A phantom provider rides existing conduits between its POPs."""
+        if _stable_unit(f"mpls|{name}") < MPLS_PROBABILITY:
+            self._mpls.add(name)
+        conduit_graph = fiber_map.simple_conduit_graph()
+        cities = sorted(conduit_graph.nodes)
+        weights = [city_by_name(c).population for c in cities]
+        count = self._rng.randint(10, 36)
+        pops = sorted(set(self._rng.choices(cities, weights=weights, k=count)))
+        if len(pops) < 2:
+            return
+        # Spanning skeleton over the conduit graph.
+        ordered = sorted(pops, key=lambda c: -city_by_name(c).population)
+        connected = [ordered[0]]
+        for city in ordered[1:]:
+            partner = min(
+                connected,
+                key=lambda c: city_by_name(city).distance_km(city_by_name(c)),
+            )
+            try:
+                path = nx.shortest_path(
+                    conduit_graph, city, partner, weight="length_km"
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                continue
+            connected.append(city)
+            conduit_ids = []
+            length = 0.0
+            for u, v in zip(path, path[1:]):
+                data = conduit_graph[u][v]
+                conduit_ids.append(data["conduit_id"])
+                length += data["length_km"]
+            ra = self._router_for(name, city)
+            rb = self._router_for(name, partner)
+            key = (name, *canonical_edge(city, partner))
+            self._graph.add_edge(
+                ra.node, rb.node, ms=fiber_delay_ms(length), kind="intra",
+                isp=name,
+            )
+            self._link_conduits[key] = tuple(conduit_ids)
+
+    def _add_peerings(self) -> None:
+        """Interconnect provider pairs at their biggest common cities."""
+        by_isp: Dict[str, Set[str]] = {}
+        for (isp, city_key) in self._routers:
+            by_isp.setdefault(isp, set()).add(city_key)
+        names = sorted(by_isp)
+        for i, isp_a in enumerate(names):
+            for isp_b in names[i + 1:]:
+                common = by_isp[isp_a] & by_isp[isp_b]
+                if not common:
+                    continue
+                chosen = sorted(
+                    common, key=lambda c: -city_by_name(c).population
+                )[:MAX_PEERINGS_PER_PAIR]
+                for city_key in chosen:
+                    self._graph.add_edge(
+                        (isp_a, city_key),
+                        (isp_b, city_key),
+                        ms=PEERING_PENALTY_MS,
+                        kind="peering",
+                        isp=None,
+                    )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def address_plan(self) -> AddressPlan:
+        return self._plan
+
+    @property
+    def phantom_names(self) -> Tuple[str, ...]:
+        return self._phantom_names
+
+    def providers(self) -> List[str]:
+        return sorted({isp for isp, _ in self._routers})
+
+    def router(self, isp: str, city_key: str) -> Router:
+        return self._routers[(isp, city_key)]
+
+    def router_by_ip(self, ip: str) -> Optional[Router]:
+        return self._routers_by_ip.get(ip)
+
+    def routers_of(self, isp: str) -> List[Router]:
+        return [
+            r for (i, _), r in sorted(self._routers.items()) if i == isp
+        ]
+
+    def cities_of(self, isp: str) -> List[str]:
+        return sorted(city for (i, city) in self._routers if i == isp)
+
+    def has_router(self, isp: str, city_key: str) -> bool:
+        return (isp, city_key) in self._routers
+
+    def uses_mpls(self, isp: str) -> bool:
+        return isp in self._mpls
+
+    def conduits_for_hop(
+        self, isp: str, city_a: str, city_b: str
+    ) -> Tuple[str, ...]:
+        """Ground-truth conduit ids under one intra-provider router hop."""
+        return self._link_conduits.get((isp, *canonical_edge(city_a, city_b)), ())

@@ -1,0 +1,220 @@
+"""The transportation network: a geometric multigraph of rights-of-way."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.data.cities import city_by_name
+from repro.data.corridors import Corridor
+from repro.geo.coords import haversine_km
+from repro.geo.overlap import CorridorIndex
+from repro.geo.polyline import Polyline
+
+EdgeKey = Tuple[str, str]
+
+
+def canonical_edge(a_key: str, b_key: str) -> EdgeKey:
+    """Order-independent edge key between two city keys."""
+    return (a_key, b_key) if a_key <= b_key else (b_key, a_key)
+
+
+@dataclass
+class RowEdge:
+    """One city-pair right-of-way edge and every corridor that covers it.
+
+    ``geometries`` maps corridor name to the leg geometry oriented from
+    ``edge[0]`` to ``edge[1]`` (canonical order).
+    """
+
+    edge: EdgeKey
+    kinds: Set[str] = field(default_factory=set)
+    corridor_names: Set[str] = field(default_factory=set)
+    geometries: Dict[str, Polyline] = field(default_factory=dict)
+    kind_of: Dict[str, str] = field(default_factory=dict)
+    grade_of: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_primary(self) -> bool:
+        """True when at least one covering corridor is a primary route."""
+        return any(g == "primary" for g in self.grade_of.values())
+
+    @property
+    def length_km(self) -> float:
+        """Length of the shortest covering corridor geometry."""
+        return min(g.length_km for g in self.geometries.values())
+
+    def geometry_for_kind(self, kind: str) -> Optional[Polyline]:
+        """A representative geometry of the given *kind*, if any covers it."""
+        for name in sorted(self.corridor_names):
+            if self.kind_of[name] == kind:
+                return self.geometries[name]
+        return None
+
+    def any_geometry(self) -> Polyline:
+        """A representative geometry (shortest one)."""
+        return min(self.geometries.values(), key=lambda g: g.length_km)
+
+    def geometry_oriented(self, a_key: str, b_key: str,
+                          corridor_name: Optional[str] = None) -> Polyline:
+        """Geometry running from *a_key* to *b_key*.
+
+        When *corridor_name* is given, use that corridor's leg; otherwise
+        the shortest covering geometry.
+        """
+        if canonical_edge(a_key, b_key) != self.edge:
+            raise ValueError(f"({a_key}, {b_key}) is not edge {self.edge}")
+        if corridor_name is not None:
+            line = self.geometries[corridor_name]
+        else:
+            line = self.any_geometry()
+        return line if a_key == self.edge[0] else line.reversed()
+
+
+class TransportationNetwork:
+    """Road/rail/pipeline rights-of-way as a geometric graph over cities.
+
+    Supports the queries the paper's analyses rely on:
+
+    * shortest ROW path between two cities, optionally restricted to a
+      set of infrastructure kinds (§5.3 "new conduit following existing
+      roads or railways");
+    * line-of-sight distance (the §5.3 lower bound);
+    * a :class:`~repro.geo.overlap.CorridorIndex` per infrastructure kind
+      for buffer-overlap analysis (§3).
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._edges: Dict[EdgeKey, RowEdge] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_corridor_leg(
+        self, a_key: str, b_key: str, corridor: Corridor, geometry: Polyline
+    ) -> None:
+        """Register one corridor leg between two cities."""
+        # Validate both endpoints exist in the city dataset.
+        city_by_name(a_key)
+        city_by_name(b_key)
+        key = canonical_edge(a_key, b_key)
+        record = self._edges.get(key)
+        if record is None:
+            record = RowEdge(edge=key)
+            self._edges[key] = record
+        record.kinds.add(corridor.kind)
+        record.corridor_names.add(corridor.name)
+        # Store canonical orientation.
+        record.geometries[corridor.name] = (
+            geometry if a_key == key[0] else geometry.reversed()
+        )
+        record.kind_of[corridor.name] = corridor.kind
+        record.grade_of[corridor.name] = corridor.grade
+        self._graph.add_edge(key[0], key[1])
+        # Edge weight: shortest covering geometry.
+        self._graph[key[0]][key[1]]["length_km"] = record.length_km
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (city keys as nodes)."""
+        return self._graph
+
+    def cities(self) -> List[str]:
+        return sorted(self._graph.nodes)
+
+    def edges(self) -> List[RowEdge]:
+        return [self._edges[k] for k in sorted(self._edges)]
+
+    def edge(self, a_key: str, b_key: str) -> RowEdge:
+        return self._edges[canonical_edge(a_key, b_key)]
+
+    def has_edge(self, a_key: str, b_key: str) -> bool:
+        return canonical_edge(a_key, b_key) in self._edges
+
+    def edges_of_kind(self, kind: str) -> List[RowEdge]:
+        return [e for e in self.edges() if kind in e.kinds]
+
+    def neighbors(self, city_key: str) -> List[str]:
+        return sorted(self._graph.neighbors(city_key))
+
+    def __contains__(self, city_key: str) -> bool:
+        return city_key in self._graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def los_km(self, a_key: str, b_key: str) -> float:
+        """Line-of-sight (great circle) distance between two cities."""
+        a = city_by_name(a_key).location
+        b = city_by_name(b_key).location
+        return haversine_km(a, b)
+
+    def _subgraph_for_kinds(self, kinds: Optional[FrozenSet[str]]) -> nx.Graph:
+        if kinds is None:
+            return self._graph
+        sub = nx.Graph()
+        for record in self._edges.values():
+            usable = record.kinds & kinds
+            if not usable:
+                continue
+            # Weight by the shortest geometry among the allowed kinds.
+            length = min(
+                record.geometries[name].length_km
+                for name in record.corridor_names
+                if record.kind_of[name] in usable
+            )
+            sub.add_edge(record.edge[0], record.edge[1], length_km=length)
+        return sub
+
+    def row_shortest_path(
+        self,
+        a_key: str,
+        b_key: str,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> Tuple[List[str], float]:
+        """Shortest right-of-way path between two cities.
+
+        Returns ``(city_key_path, length_km)``.  Raises
+        ``networkx.NetworkXNoPath`` when the cities are not connected over
+        the allowed kinds, ``networkx.NodeNotFound`` when either city is
+        not on any allowed corridor.
+        """
+        kind_set = frozenset(kinds) if kinds is not None else None
+        graph = self._subgraph_for_kinds(kind_set)
+        path = nx.shortest_path(graph, a_key, b_key, weight="length_km")
+        length = nx.path_weight(graph, path, weight="length_km")
+        return path, length
+
+    def path_geometry(self, path: List[str]) -> Polyline:
+        """Concatenated geometry along a city-key *path*."""
+        if len(path) < 2:
+            raise ValueError("path needs at least two cities")
+        line: Optional[Polyline] = None
+        for a_key, b_key in zip(path, path[1:]):
+            record = self.edge(a_key, b_key)
+            leg = record.geometry_oriented(a_key, b_key)
+            line = leg if line is None else line.concat(leg)
+        return line
+
+    def corridor_index(self, cell_deg: float = 0.5) -> CorridorIndex:
+        """Spatial index of all corridor geometry by infrastructure kind."""
+        index = CorridorIndex(cell_deg=cell_deg)
+        for record in self.edges():
+            for name in sorted(record.corridor_names):
+                index.add(record.geometries[name], record.kind_of[name])
+        return index
+
+    def total_km(self, kind: Optional[str] = None) -> float:
+        """Total corridor mileage (length of each covering geometry)."""
+        total = 0.0
+        for record in self.edges():
+            for name in sorted(record.corridor_names):
+                if kind is None or record.kind_of[name] == kind:
+                    total += record.geometries[name].length_km
+        return total

@@ -1,0 +1,177 @@
+"""Tests for geography/connectivity analyses and text reporting."""
+
+import pytest
+
+from repro.analysis.connectivity import connectivity_report, region_of
+from repro.analysis.geography import (
+    geography_report,
+    non_transport_conduits,
+)
+from repro.analysis.report import format_cdf, format_histogram, format_table
+
+
+@pytest.fixture(scope="module")
+def geo_report(built_map, network):
+    return geography_report(built_map, network)
+
+
+class TestGeography:
+    def test_fractions_in_unit_interval(self, geo_report):
+        for row in geo_report.colocations:
+            assert 0.0 <= row.road <= 1.0
+            assert 0.0 <= row.rail <= 1.0
+            assert 0.0 <= row.pipeline <= 1.0
+            assert 0.0 <= row.road_or_rail <= 1.0
+
+    def test_union_at_least_parts(self, geo_report):
+        for row in geo_report.colocations:
+            assert row.road_or_rail >= max(row.road, row.rail) - 1e-9
+
+    def test_road_dominates_rail(self, geo_report):
+        # The paper's central §3 finding.
+        assert geo_report.mean_fraction("road") > geo_report.mean_fraction("rail")
+        assert geo_report.road_beats_rail_fraction > 0.5
+
+    def test_union_highest(self, geo_report):
+        assert geo_report.mean_fraction("road_or_rail") >= geo_report.mean_fraction("road")
+
+    def test_histogram_counts(self, geo_report, built_map):
+        _, counts = geo_report.histogram("road")
+        assert sum(counts) == built_map.stats().num_conduits
+
+    def test_covers_every_conduit(self, geo_report, built_map):
+        assert len(geo_report.colocations) == built_map.stats().num_conduits
+
+    def test_non_transport_conduits_sorted(self, geo_report, built_map):
+        rows = non_transport_conduits(geo_report, built_map, threshold=0.9)
+        values = [c.road_or_rail for _, c in rows]
+        assert values == sorted(values)
+
+
+class TestConnectivity:
+    @pytest.fixture(scope="class")
+    def report(self, built_map):
+        return connectivity_report(built_map)
+
+    def test_stats_match_map(self, report, built_map):
+        assert report.stats == built_map.stats()
+
+    def test_hubs_sorted_by_degree(self, report):
+        degrees = [d for _, d in report.top_hubs]
+        assert degrees == sorted(degrees, reverse=True)
+        assert len(report.top_hubs) == 10
+
+    def test_connected(self, report):
+        assert report.connected
+        assert report.diameter_hops > 3
+
+    def test_parallel_edges_have_multiple_conduits(self, report, built_map):
+        for edge in report.parallel_edges:
+            assert len(built_map.conduits_between(*edge)) > 1
+
+    def test_spurs_have_degree_one(self, report, built_map):
+        graph = built_map.simple_conduit_graph()
+        for city in report.spurs:
+            assert graph.degree(city) == 1
+
+    def test_region_density_positive(self, report):
+        assert report.region_density
+        assert all(v > 0 for v in report.region_density.values())
+
+    def test_northeast_denser_than_plains(self, report):
+        # The paper's "dense deployments (northeast)" vs "pronounced
+        # absence (upper plains)" contrast.
+        assert report.region_density["northeast"] > report.region_density["plains"] * 0.5
+
+    def test_region_of(self):
+        assert region_of("New York, NY") == "northeast"
+        assert region_of("Casper, WY") == "mountain"
+        assert region_of("Denver, CO") == "four_corners"
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bbb"), [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_histogram(self):
+        text = format_histogram((0.0, 0.5), (1, 3), title="H", width=10)
+        assert "H" in text
+        assert "###" in text
+
+    def test_format_histogram_empty(self):
+        text = format_histogram((), (), title="E")
+        assert text == "E"
+
+    def test_format_cdf(self):
+        series = [(1.0, 0.25), (2.0, 0.5), (4.0, 1.0)]
+        text = format_cdf(series, title="C", points=3)
+        assert "p  0" in text or "p0" in text.replace(" ", "")
+        assert "4.0" in text
+
+    def test_format_cdf_empty(self):
+        assert "(empty)" in format_cdf([], title="C")
+
+
+class TestStats:
+    def test_bootstrap_ci_contains_mean(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = bootstrap_ci(values, resamples=500)
+        assert low <= 3.0 <= high
+        assert low < high
+
+    def test_bootstrap_deterministic(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        values = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_bootstrap_single_value(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_bootstrap_validation(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            bootstrap_ci([])
+        with _pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_empirical_cdf(self):
+        from repro.analysis.stats import cdf_at, empirical_cdf
+
+        cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert cdf == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+        assert cdf_at([1.0, 2.0, 3.0], 2.0) == 2 / 3
+        assert cdf_at([], 1.0) == 0.0
+
+    def test_ks_distance(self):
+        from repro.analysis.stats import ks_distance
+
+        same = ks_distance([1, 2, 3], [1, 2, 3])
+        assert same == 0.0
+        shifted = ks_distance([1, 2, 3], [4, 5, 6])
+        assert shifted == 1.0
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            ks_distance([], [1])
+
+    def test_fig9_shift_as_ks(self, risk_matrix, overlay):
+        from repro.analysis.stats import ks_distance
+
+        physical = [
+            risk_matrix.sharing_count(cid) for cid in risk_matrix.conduit_ids
+        ]
+        effective = [
+            len(overlay.effective_tenants(cid))
+            for cid in risk_matrix.conduit_ids
+        ]
+        assert 0.0 < ks_distance(physical, effective) < 1.0

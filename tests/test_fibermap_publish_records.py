@@ -1,0 +1,162 @@
+"""Tests for published provider maps and the public-records corpus."""
+
+import pytest
+
+from repro.data.isps import ISPS
+from repro.fibermap.publish import (
+    QUALITY_COARSE,
+    QUALITY_DETAILED,
+    QUALITY_ENDPOINTS,
+    publish_provider_maps,
+)
+from repro.fibermap.records import RecordsCorpus, generate_records
+
+
+@pytest.fixture(scope="module")
+def provider_maps(ground_truth):
+    return publish_provider_maps(ground_truth, seed=7)
+
+
+@pytest.fixture(scope="module")
+def corpus(ground_truth):
+    return generate_records(ground_truth, seed=11)
+
+
+class TestPublish:
+    def test_all_providers_published(self, provider_maps):
+        assert set(provider_maps) == {p.name for p in ISPS}
+
+    def test_link_counts_preserved(self, provider_maps, ground_truth):
+        for profile in ISPS:
+            published = provider_maps[profile.name]
+            truth = len(ground_truth.fiber_map.links_of(profile.name))
+            assert published.num_links == truth
+
+    def test_step1_quality_mix(self, provider_maps):
+        qualities = {
+            link.quality
+            for name, pmap in provider_maps.items()
+            if pmap.step == 1
+            for link in pmap.links
+        }
+        assert QUALITY_DETAILED in qualities
+        assert QUALITY_COARSE in qualities
+        assert QUALITY_ENDPOINTS not in qualities
+
+    def test_step3_endpoints_only(self, provider_maps):
+        for pmap in provider_maps.values():
+            if pmap.step != 3:
+                continue
+            for link in pmap.links:
+                assert link.quality == QUALITY_ENDPOINTS
+                assert link.geometry is None
+                assert link.city_path is None
+
+    def test_detailed_links_have_geometry(self, provider_maps):
+        for pmap in provider_maps.values():
+            for link in pmap.links:
+                if link.quality == QUALITY_DETAILED:
+                    assert link.geometry is not None
+                    assert link.city_path is not None
+                    assert link.geometry.length_km > 0
+
+    def test_detailed_geometry_connects_endpoints(self, provider_maps):
+        from repro.data.cities import city_by_name
+
+        pmap = provider_maps["AT&T"]
+        detailed = [l for l in pmap.links if l.quality == QUALITY_DETAILED]
+        for link in detailed[:10]:
+            start_city = link.city_path[0]
+            end_city = link.city_path[-1]
+            assert {start_city, end_city} == set(link.endpoints)
+            assert link.geometry.start.distance_km(
+                city_by_name(start_city).location
+            ) < 1.0
+
+    def test_deterministic(self, ground_truth, provider_maps):
+        again = publish_provider_maps(ground_truth, seed=7)
+        for name, pmap in provider_maps.items():
+            assert [l.quality for l in again[name].links] == [
+                l.quality for l in pmap.links
+            ]
+
+    def test_nodes_are_link_endpoints(self, provider_maps):
+        pmap = provider_maps["Comcast"]
+        endpoint_set = {e for l in pmap.links for e in l.endpoints}
+        assert set(pmap.nodes) == endpoint_set
+
+
+class TestRecords:
+    def test_corpus_nonempty(self, corpus):
+        assert len(corpus) > 300
+
+    def test_records_reference_real_conduits(self, corpus, ground_truth):
+        conduits = ground_truth.fiber_map.conduits
+        for record in list(corpus)[:100]:
+            conduit = conduits[record.conduit_id]
+            assert conduit.edge == record.edge
+            assert conduit.row_id == record.row_id
+
+    def test_tenants_subset_of_truth(self, corpus, ground_truth):
+        conduits = ground_truth.fiber_map.conduits
+        for record in list(corpus)[:200]:
+            truth = conduits[record.conduit_id].tenants
+            assert set(record.tenants) <= truth
+            assert record.tenants  # always names at least one carrier
+
+    def test_coverage_near_target(self, corpus, ground_truth):
+        covered = {r.conduit_id for r in corpus}
+        total = len(ground_truth.fiber_map.conduits)
+        assert 0.75 <= len(covered) / total <= 0.97
+
+    def test_search_finds_edge_documents(self, corpus):
+        record = next(iter(corpus))
+        a, b = record.edge
+        hits = corpus.search(f"{a} {b} fiber conduit", limit=10)
+        assert any(r.edge == record.edge for r, _ in hits)
+
+    def test_search_empty_query(self, corpus):
+        assert corpus.search("") == []
+        assert corpus.search("zzzquxnotaword") == []
+
+    def test_search_scores_descending(self, corpus):
+        hits = corpus.search("fiber right-of-way iru Level 3", limit=20)
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_records_for_edge(self, corpus):
+        record = next(iter(corpus))
+        found = corpus.records_for_edge(*record.edge)
+        assert record in found
+        # Order of arguments must not matter.
+        b, a = record.edge
+        assert corpus.records_for_edge(b, a) == found
+
+    def test_tenants_evidenced(self, corpus):
+        record = next(iter(corpus))
+        evidenced = corpus.tenants_evidenced(*record.edge)
+        assert set(record.tenants) <= evidenced
+
+    def test_rows_evidenced(self, corpus):
+        record = next(iter(corpus))
+        assert record.row_id in corpus.rows_evidenced(*record.edge)
+
+    def test_deterministic(self, ground_truth, corpus):
+        again = generate_records(ground_truth, seed=11)
+        assert [r.doc_id for r in again] == [r.doc_id for r in corpus]
+        assert [r.text for r in again] == [r.text for r in corpus]
+
+    def test_parameter_validation(self, ground_truth):
+        with pytest.raises(ValueError):
+            generate_records(ground_truth, coverage=1.5)
+        with pytest.raises(ValueError):
+            generate_records(ground_truth, tenant_recall=-0.1)
+
+    def test_rail_settlements_only_on_rail(self, corpus):
+        for record in corpus:
+            if record.kind == "row_settlement":
+                assert record.row_id.startswith("rail:")
+
+    def test_title(self, corpus):
+        record = next(iter(corpus))
+        assert record.edge[0] in record.title

@@ -1,0 +1,118 @@
+"""Tests for validation helpers and POP-only link alignment."""
+
+import pytest
+
+from repro.fibermap.augment import RowAligner
+from repro.fibermap.records import generate_records
+from repro.fibermap.validate import (
+    align_geometry_to_row,
+    choose_row_with_evidence,
+    geometry_row_distance_km,
+    search_evidence,
+    tenants_from_records,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(ground_truth):
+    return generate_records(ground_truth, seed=11)
+
+
+class TestGeometryAlignment:
+    def test_geometry_matches_own_row(self, ground_truth):
+        registry = ground_truth.registry
+        conduit = next(iter(ground_truth.fiber_map.conduits.values()))
+        alignment = align_geometry_to_row(
+            conduit.edge, conduit.geometry, registry
+        )
+        assert alignment is not None
+        assert alignment.row_id == conduit.row_id
+        assert alignment.aligned
+
+    def test_distance_zero_to_self(self, ground_truth):
+        conduit = next(iter(ground_truth.fiber_map.conduits.values()))
+        assert geometry_row_distance_km(
+            conduit.geometry, conduit.geometry
+        ) < 0.5
+
+    def test_far_geometry_does_not_align(self, ground_truth):
+        from repro.geo.coords import GeoPoint
+        from repro.geo.polyline import Polyline
+
+        registry = ground_truth.registry
+        conduit = next(iter(ground_truth.fiber_map.conduits.values()))
+        bogus = Polyline([GeoPoint(25.5, -80.0), GeoPoint(26.5, -80.0)])
+        alignment = align_geometry_to_row(conduit.edge, bogus, registry)
+        # Either no candidate aligns, or alignment rejects by tolerance.
+        assert alignment is None
+
+
+class TestEvidence:
+    def test_choose_row_prefers_named_record(self, ground_truth, corpus):
+        record = next(iter(corpus))
+        isp = record.tenants[0]
+        row_id, backed = choose_row_with_evidence(
+            record.edge, isp, ground_truth.registry, corpus
+        )
+        assert backed
+        assert row_id == record.row_id
+
+    def test_choose_row_without_evidence_falls_back(self, ground_truth):
+        from repro.fibermap.records import RecordsCorpus
+
+        empty = RecordsCorpus([])
+        edge = next(iter(ground_truth.fiber_map.conduits.values())).edge
+        row_id, backed = choose_row_with_evidence(
+            edge, "AT&T", ground_truth.registry, empty
+        )
+        assert not backed
+        candidates = ground_truth.registry.rows_for_edge(*edge)
+        assert row_id == candidates[0].row_id
+
+    def test_tenants_from_records(self, ground_truth, corpus):
+        record = next(iter(corpus))
+        tenants = tenants_from_records(record.edge, corpus)
+        assert set(record.tenants) <= tenants
+
+    def test_search_evidence_finds_docs(self, ground_truth, corpus):
+        record = next(iter(corpus))
+        docs = search_evidence(record.edge, record.tenants[0], corpus)
+        assert record.doc_id in docs
+
+
+class TestRowAligner:
+    @pytest.fixture(scope="class")
+    def aligner(self, network, corpus):
+        return RowAligner(network, corpus)
+
+    def test_best_path_connects(self, aligner):
+        best = aligner.best_path("AT&T", "Denver, CO", "Chicago, IL")
+        assert best is not None
+        assert best.city_path[0] == "Denver, CO"
+        assert best.city_path[-1] == "Chicago, IL"
+        assert best.length_km > 0
+
+    def test_candidates_are_distinct(self, aligner):
+        candidates = aligner.candidate_paths(
+            "AT&T", "Seattle, WA", "Miami, FL", k=3
+        )
+        paths = [c.city_path for c in candidates]
+        assert len(set(paths)) == len(paths)
+        assert 1 <= len(paths) <= 3
+
+    def test_evidence_sorting(self, aligner):
+        candidates = aligner.candidate_paths(
+            "Level 3", "Denver, CO", "Salt Lake City, UT", k=3
+        )
+        keys = [(-c.evidence_edges, c.length_km) for c in candidates]
+        assert keys == sorted(keys)
+
+    def test_adjacent_cities_single_hop(self, aligner):
+        best = aligner.best_path("AT&T", "Provo, UT", "Salt Lake City, UT")
+        assert best.num_hops == 1
+
+    def test_cache_invalidation(self, aligner):
+        aligner.best_path("Sprint", "Denver, CO", "Chicago, IL")
+        aligner.invalidate_cache()
+        best = aligner.best_path("Sprint", "Denver, CO", "Chicago, IL")
+        assert best is not None

@@ -1,0 +1,172 @@
+"""Tests for the ASCII renderer and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis.render import AsciiMap, render_fiber_map, render_transport
+from repro.cli import main
+from repro.geo.coords import GeoPoint
+from repro.geo.polyline import Polyline
+
+
+class TestAsciiMap:
+    def test_canvas_size_validation(self):
+        with pytest.raises(ValueError):
+            AsciiMap(width=5, height=3)
+
+    def test_empty_canvas_blank(self):
+        canvas = AsciiMap(width=20, height=6)
+        assert canvas.render().strip() == ""
+
+    def test_polyline_drawn(self):
+        canvas = AsciiMap(width=40, height=12)
+        line = Polyline([GeoPoint(40.0, -120.0), GeoPoint(40.0, -80.0)])
+        canvas.draw_polyline(line)
+        assert canvas.render().strip() != ""
+
+    def test_out_of_bounds_ignored(self):
+        canvas = AsciiMap(width=20, height=6)
+        line = Polyline([GeoPoint(60.0, -120.0), GeoPoint(62.0, -120.0)])
+        canvas.draw_polyline(line)
+        assert canvas.render().strip() == ""
+
+    def test_mark_overrides_shading(self):
+        canvas = AsciiMap(width=40, height=12)
+        line = Polyline([GeoPoint(40.0, -120.0), GeoPoint(40.0, -80.0)])
+        canvas.draw_polyline(line, weight=10)
+        canvas.mark(40.0, -100.0, "O")
+        assert "O" in canvas.render()
+
+    def test_mark_validation(self):
+        canvas = AsciiMap(width=20, height=6)
+        with pytest.raises(ValueError):
+            canvas.mark(40.0, -100.0, "XY")
+
+    def test_density_shading_monotone(self):
+        canvas = AsciiMap(width=40, height=12)
+        light = Polyline([GeoPoint(45.0, -120.0), GeoPoint(45.0, -110.0)])
+        heavy = Polyline([GeoPoint(30.0, -120.0), GeoPoint(30.0, -110.0)])
+        canvas.draw_polyline(light, weight=1)
+        canvas.draw_polyline(heavy, weight=20)
+        text = canvas.render()
+        from repro.analysis.render import SHADES
+
+        # The heavy row must use a darker shade than the light row.
+        def darkest(row_text):
+            return max(
+                (SHADES.index(ch) for ch in row_text if ch in SHADES[1:]),
+                default=0,
+            )
+
+        rows = text.splitlines()
+        top = max(darkest(r) for r in rows[:6])
+        bottom = max(darkest(r) for r in rows[6:])
+        assert bottom > top
+
+
+class TestRenderHighLevel:
+    def test_render_fiber_map(self, built_map):
+        text = render_fiber_map(built_map, width=80, height=24)
+        assert "O" in text  # hub markers
+        # 24 rows joined by newlines (trailing blank rows are rstripped).
+        assert text.count("\n") == 23
+
+    def test_render_transport(self, network):
+        road = render_transport(network, "road", width=80, height=24)
+        rail = render_transport(network, "rail", width=80, height=24)
+        assert road.strip() and rail.strip()
+        # The road grid is denser than rail.
+        assert sum(c != " " for c in road) > sum(c != " " for c in rail)
+
+
+class TestCli:
+    def test_experiments_list(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig12" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["--traces", "100", "run", "fig99"]) == 2
+
+    def test_run_table1(self, capsys):
+        assert main(["--traces", "100", "run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "EarthLink" in out and "370" in out
+
+    def test_map_with_geojson(self, capsys, tmp_path):
+        path = str(tmp_path / "map.geojson")
+        assert main(["--traces", "100", "map", "--geojson", path]) == 0
+        data = json.loads(open(path).read())
+        assert data["type"] == "FeatureCollection"
+        out = capsys.readouterr().out
+        assert "nodes" in out
+
+    def test_audit(self, capsys):
+        assert main(["--traces", "100", "audit", "Sprint"]) == 0
+        out = capsys.readouterr().out
+        assert "Sprint" in out and "SRR" in out
+
+    def test_audit_unknown_isp(self, capsys):
+        assert main(["--traces", "100", "audit", "Atlantis Telecom"]) == 2
+
+    def test_cut(self, capsys):
+        assert main(
+            ["--traces", "100", "cut", "Provo, UT", "Salt Lake City, UT"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "severed" in out
+
+    def test_cut_unknown_edge(self, capsys):
+        assert main(
+            ["--traces", "100", "cut", "Miami, FL", "Seattle, WA"]
+        ) == 2
+
+
+class TestCliExtensions:
+    def test_pareto(self, capsys):
+        assert main(
+            ["--traces", "100", "pareto", "Denver, CO", "Chicago, IL"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out and "max tenants" in out
+
+    def test_pareto_no_path(self, capsys):
+        assert main(
+            ["--traces", "100", "pareto", "Denver, CO", "Atlantis, XX"]
+        ) == 2
+
+    def test_annotate_with_geojson(self, capsys, tmp_path):
+        path = str(tmp_path / "annotated.geojson")
+        assert main(["--traces", "100", "annotate", "--geojson", path]) == 0
+        data = json.loads(open(path).read())
+        assert data["features"][0]["properties"]["risk_class"]
+        out = capsys.readouterr().out
+        assert "busiest conduits" in out
+
+
+class TestCliMoreCommands:
+    def test_backup(self, capsys):
+        assert main(
+            ["--traces", "100", "backup", "Sprint", "Denver, CO",
+             "Chicago, IL"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "primary" in out and "backup" in out
+
+    def test_backup_unconnectable(self, capsys):
+        assert main(
+            ["--traces", "100", "backup", "Suddenlink", "Seattle, WA",
+             "Portland, OR"]
+        ) == 2
+
+    def test_partition(self, capsys):
+        assert main(["--traces", "100", "partition"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum west-east" in out
+        assert "undersea" in out
+
+    def test_exchange(self, capsys):
+        assert main(["--traces", "100", "exchange", "--conduits", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "conduit exchange plan" in out

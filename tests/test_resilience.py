@@ -1,0 +1,214 @@
+"""Tests for failure injection and impact assessment."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.resilience.cuts import (
+    CutEvent,
+    conduit_cut,
+    cuts_for_city,
+    disaster_cut,
+    edge_cut,
+)
+from repro.resilience.impact import assess_cut
+from repro.resilience.montecarlo import (
+    mean_final_disconnected,
+    random_cut_study,
+    targeted_attack,
+)
+from repro.risk.metrics import most_shared_conduits
+
+
+@pytest.fixture(scope="module")
+def top_conduit(risk_matrix):
+    return most_shared_conduits(risk_matrix, top=1)[0][0]
+
+
+class TestCutEvents:
+    def test_conduit_cut(self, built_map, top_conduit):
+        event = conduit_cut(built_map, top_conduit)
+        assert event.conduit_ids == frozenset({top_conduit})
+        assert event.location is not None
+        assert event.size == 1
+
+    def test_edge_cut_takes_parallels(self, built_map):
+        # Find an edge with parallel conduits.
+        edge = next(
+            c.edge
+            for c in built_map.conduits.values()
+            if len(built_map.conduits_between(*c.edge)) > 1
+        )
+        event = edge_cut(built_map, *edge)
+        assert event.size == len(built_map.conduits_between(*edge))
+        assert event.size > 1
+
+    def test_edge_cut_unknown_edge(self, built_map):
+        with pytest.raises(KeyError):
+            edge_cut(built_map, "Miami, FL", "Seattle, WA")
+
+    def test_disaster_cut_radius(self, built_map):
+        small = disaster_cut(built_map, GeoPoint(40.76, -111.89), 80.0)
+        large = disaster_cut(built_map, GeoPoint(40.76, -111.89), 250.0)
+        assert small.conduit_ids < large.conduit_ids
+
+    def test_disaster_cut_validation(self, built_map):
+        with pytest.raises(ValueError):
+            disaster_cut(built_map, GeoPoint(40.0, -100.0), -5.0)
+        with pytest.raises(ValueError):
+            # Middle of the Gulf of Mexico: nothing within 10 km.
+            disaster_cut(built_map, GeoPoint(26.0, -92.0), 10.0)
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ValueError):
+            CutEvent(description="nothing", conduit_ids=frozenset())
+
+    def test_cuts_for_city(self, built_map):
+        events = cuts_for_city(built_map, "Denver, CO")
+        assert events
+        for event in events:
+            for cid in event.conduit_ids:
+                assert "Denver, CO" in built_map.conduit(cid).edge
+
+
+class TestImpact:
+    def test_tenants_all_assessed(self, built_map, top_conduit):
+        event = conduit_cut(built_map, top_conduit)
+        impact = assess_cut(built_map, event)
+        tenants = built_map.conduit(top_conduit).tenants
+        assert {i.isp for i in impact.per_isp} == tenants
+
+    def test_links_hit_cross_the_cut(self, built_map, top_conduit):
+        event = conduit_cut(built_map, top_conduit)
+        impact = assess_cut(built_map, event)
+        assert impact.total_links_hit >= impact.isps_affected > 0
+
+    def test_reroute_delays_non_negative(self, built_map, top_conduit):
+        event = conduit_cut(built_map, top_conduit)
+        impact = assess_cut(built_map, event)
+        for item in impact.per_isp:
+            assert item.mean_reroute_delay_ms >= 0
+            assert item.max_reroute_delay_ms >= item.mean_reroute_delay_ms or (
+                item.max_reroute_delay_ms == 0 and item.mean_reroute_delay_ms == 0
+            )
+
+    def test_overlay_probe_counts(self, built_map, overlay, risk_matrix):
+        # Pick a conduit that carries traffic.
+        traffic = overlay.traffic()
+        conduit_id = max(traffic, key=lambda c: traffic[c].total)
+        event = conduit_cut(built_map, conduit_id)
+        impact = assess_cut(built_map, event, overlay)
+        assert impact.probes_affected == traffic[conduit_id].total
+
+    def test_impact_of_lookup(self, built_map, top_conduit):
+        event = conduit_cut(built_map, top_conduit)
+        impact = assess_cut(built_map, event)
+        isp = impact.per_isp[0].isp
+        assert impact.impact_of(isp) is impact.per_isp[0]
+        assert impact.impact_of("Nobody") is None
+
+    def test_bigger_event_bigger_impact(self, built_map, top_conduit):
+        single = assess_cut(built_map, conduit_cut(built_map, top_conduit))
+        edge = built_map.conduit(top_conduit).edge
+        multi = assess_cut(built_map, edge_cut(built_map, *edge))
+        assert multi.total_links_hit >= single.total_links_hit
+
+
+class TestAttacks:
+    def test_targeted_attack_monotone(self, built_map, risk_matrix):
+        result = targeted_attack(built_map, risk_matrix, cuts=4)
+        assert len(result.events) == 4
+        seq = result.cumulative_disconnected
+        assert all(b >= a for a, b in zip(seq, seq[1:]))
+        harmed = result.cumulative_isps_harmed
+        assert all(b >= a for a, b in zip(harmed, harmed[1:]))
+
+    def test_targeted_hits_shared_edges(self, built_map, risk_matrix):
+        result = targeted_attack(built_map, risk_matrix, cuts=3)
+        top_counts = [n for _, n in most_shared_conduits(risk_matrix, top=3)]
+        for event in result.events:
+            counts = [
+                risk_matrix.sharing_count(cid) for cid in event.conduit_ids
+            ]
+            assert max(counts) >= top_counts[-1] - 3
+
+    def test_random_study_deterministic(self, built_map):
+        first = random_cut_study(built_map, cuts=3, trials=3, seed=5)
+        second = random_cut_study(built_map, cuts=3, trials=3, seed=5)
+        assert [r.cumulative_disconnected for r in first] == [
+            r.cumulative_disconnected for r in second
+        ]
+
+    def test_targeted_beats_random(self, built_map, risk_matrix):
+        targeted = targeted_attack(built_map, risk_matrix, cuts=5)
+        random_runs = random_cut_study(built_map, cuts=5, trials=5, seed=3)
+        assert (
+            targeted.cumulative_disconnected[-1]
+            >= mean_final_disconnected(random_runs)
+        )
+
+    def test_validation(self, built_map, risk_matrix):
+        with pytest.raises(ValueError):
+            targeted_attack(built_map, risk_matrix, cuts=0)
+        with pytest.raises(ValueError):
+            random_cut_study(built_map, cuts=0)
+
+    def test_mean_final_empty(self):
+        assert mean_final_disconnected([]) == 0.0
+
+
+class TestTrafficShift:
+    @pytest.fixture(scope="class")
+    def shift_report(self, scenario, built_map, risk_matrix):
+        from repro.resilience.cuts import edge_cut
+        from repro.resilience.traffic_shift import traffic_shift
+
+        cid, _ = most_shared_conduits(risk_matrix, top=1)[0]
+        event = edge_cut(built_map, *built_map.conduit(cid).edge)
+        return traffic_shift(
+            scenario.topology, event, scenario.campaign, max_traces=300
+        )
+
+    def test_counts_consistent(self, shift_report):
+        assert shift_report.traces_examined > 0
+        assert (
+            shift_report.traces_slower + shift_report.traces_blackholed
+            <= shift_report.traces_examined
+        )
+
+    def test_inflation_non_negative(self, shift_report):
+        assert shift_report.mean_inflation_ms >= 0
+        assert shift_report.p95_inflation_ms >= shift_report.mean_inflation_ms or (
+            shift_report.traces_slower == 0
+        )
+
+    def test_affected_fraction_bounds(self, shift_report):
+        assert 0.0 <= shift_report.affected_fraction <= 1.0
+
+    def test_degraded_topology_removes_edges(self, scenario, built_map, risk_matrix):
+        from repro.resilience.cuts import edge_cut
+        from repro.resilience.traffic_shift import DegradedTopology
+
+        cid, _ = most_shared_conduits(risk_matrix, top=1)[0]
+        event = edge_cut(built_map, *built_map.conduit(cid).edge)
+        degraded = DegradedTopology(scenario.topology, event)
+        assert degraded.dead_router_adjacencies
+        assert (
+            degraded.graph.number_of_edges()
+            < scenario.topology.graph.number_of_edges()
+        )
+
+    def test_uncut_topology_noop(self, scenario, built_map):
+        from repro.resilience.cuts import CutEvent
+        from repro.resilience.traffic_shift import DegradedTopology
+
+        # A cut of a conduit no router adjacency maps onto: pick a spur
+        # conduit with a single tenant and verify minimal edge loss.
+        event = CutEvent(
+            description="synthetic", conduit_ids=frozenset({"C0001"})
+        )
+        degraded = DegradedTopology(scenario.topology, event)
+        lost = (
+            scenario.topology.graph.number_of_edges()
+            - degraded.graph.number_of_edges()
+        )
+        assert lost >= 0

@@ -1,0 +1,212 @@
+"""Tests for SRLG routing, the conduit exchange, and the Title II study."""
+
+import pytest
+
+from repro.mitigation.exchange import plan_exchange
+from repro.policy.titleii import (
+    open_access_tradeoff,
+    simulate_open_access,
+)
+from repro.routing.backup import plan_backup, protection_report
+from repro.routing.srlg import (
+    path_srlgs,
+    shared_srlgs,
+    srlg_diversity,
+    srlg_of_conduit,
+)
+
+
+class TestSrlg:
+    def test_srlg_is_edge(self, built_map):
+        conduit = next(iter(built_map.conduits.values()))
+        assert srlg_of_conduit(built_map, conduit.conduit_id) == conduit.edge
+
+    def test_parallel_conduits_same_srlg(self, built_map):
+        edge = next(
+            c.edge
+            for c in built_map.conduits.values()
+            if len(built_map.conduits_between(*c.edge)) > 1
+        )
+        parallel = built_map.conduits_between(*edge)
+        groups = {
+            srlg_of_conduit(built_map, c.conduit_id) for c in parallel
+        }
+        assert len(groups) == 1
+
+    def test_path_srlgs(self, built_map):
+        link = next(iter(built_map.links.values()))
+        groups = path_srlgs(built_map, link.conduit_ids)
+        assert len(groups) == link.num_hops
+
+    def test_shared_and_diversity(self, built_map):
+        link = next(l for l in built_map.links.values() if l.num_hops >= 2)
+        same = shared_srlgs(built_map, link.conduit_ids, link.conduit_ids)
+        assert len(same) == link.num_hops
+        assert srlg_diversity(built_map, link.conduit_ids, link.conduit_ids) == 0.0
+        assert srlg_diversity(built_map, [], link.conduit_ids) == 1.0
+
+
+class TestBackupPlanning:
+    def test_plan_exists_for_connected_pair(self, built_map):
+        pair = sorted({l.endpoints for l in built_map.links_of("Sprint")})[0]
+        plan = plan_backup(built_map, "Sprint", *pair)
+        assert plan is not None
+        assert plan.primary_conduits
+        assert plan.primary_delay_ms > 0
+
+    def test_diverse_backup_shares_nothing(self, built_map):
+        pairs = sorted({l.endpoints for l in built_map.links_of("Level 3")})
+        found_diverse = False
+        for pair in pairs[:30]:
+            plan = plan_backup(built_map, "Level 3", *pair)
+            if plan and plan.fully_diverse:
+                found_diverse = True
+                assert not shared_srlgs(
+                    built_map, plan.primary_conduits, plan.backup_conduits
+                )
+                assert plan.backup_delay_ms >= plan.primary_delay_ms - 1e-9
+        assert found_diverse
+
+    def test_backup_differs_from_primary(self, built_map):
+        pairs = sorted({l.endpoints for l in built_map.links_of("Verizon")})
+        for pair in pairs[:20]:
+            plan = plan_backup(built_map, "Verizon", *pair)
+            if plan and plan.protected:
+                assert plan.backup_conduits != plan.primary_conduits
+
+    def test_unknown_pair_returns_none(self, built_map):
+        assert plan_backup(built_map, "AT&T", "Nowhere, XX", "Denver, CO") is None
+
+    def test_protection_report_sums(self, built_map):
+        diverse, shared, unprotected = protection_report(
+            built_map, "Sprint", max_pairs=30
+        )
+        assert diverse + shared + unprotected == min(
+            30, len({l.endpoints for l in built_map.links_of("Sprint")})
+        )
+        assert diverse > 0
+
+
+class TestExchange:
+    def test_plan_structure(self, scenario):
+        conduits = plan_exchange(
+            scenario.constructed_map,
+            scenario.network,
+            list(scenario.isps),
+            num_conduits=3,
+        )
+        assert 1 <= len(conduits) <= 3
+        for conduit in conduits:
+            assert conduit.num_members >= 2
+            assert conduit.total_gain > 0
+            # Cost shares sum to the construction cost.
+            assert sum(m.cost_share for m in conduit.members) == pytest.approx(
+                conduit.total_cost
+            )
+
+    def test_membership_cheaper_than_solo(self, scenario):
+        conduits = plan_exchange(
+            scenario.constructed_map,
+            scenario.network,
+            list(scenario.isps),
+            num_conduits=2,
+        )
+        for conduit in conduits:
+            for member in conduit.members:
+                assert member.cost_share < member.solo_cost
+                assert member.savings_factor > 1.0
+
+    def test_ranked_by_total_gain(self, scenario):
+        conduits = plan_exchange(
+            scenario.constructed_map,
+            scenario.network,
+            list(scenario.isps),
+            num_conduits=4,
+        )
+        gains = [c.total_gain for c in conduits]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            plan_exchange(
+                scenario.constructed_map, scenario.network,
+                list(scenario.isps), num_conduits=0,
+            )
+
+
+class TestTitleII:
+    def test_outcome_consistency(self, built_map):
+        outcome = simulate_open_access(built_map, num_entrants=3, seed=4)
+        assert len(outcome.entrants) == 3
+        assert outcome.leased_km > 0
+        assert outcome.mean_tenants_after >= outcome.mean_tenants_before
+        for k in (2, 3, 4):
+            assert outcome.sharing_after[k] >= outcome.sharing_before[k] - 1e-9
+
+    def test_zero_entrants_noop(self, built_map):
+        outcome = simulate_open_access(built_map, num_entrants=0)
+        assert outcome.mean_tenants_after == outcome.mean_tenants_before
+        assert outcome.leased_km == 0.0
+        assert outcome.capital_savings_fraction == 0.0
+
+    def test_savings_substantial(self, built_map):
+        outcome = simulate_open_access(built_map, num_entrants=3)
+        # Leasing at 12% of trenching cost -> ~88% savings.
+        assert outcome.capital_savings_fraction == pytest.approx(0.88, abs=0.01)
+
+    def test_map_not_mutated(self, built_map):
+        before = built_map.tenancy()
+        simulate_open_access(built_map, num_entrants=5)
+        assert built_map.tenancy() == before
+
+    def test_tradeoff_curve_monotone(self, built_map):
+        points = open_access_tradeoff(built_map, max_entrants=4)
+        assert len(points) == 5
+        risks = [p.mean_tenants_after for p in points]
+        assert all(b >= a - 1e-9 for a, b in zip(risks, risks[1:]))
+        assert points[0].sharing_increase == 0.0
+
+    def test_validation(self, built_map):
+        with pytest.raises(ValueError):
+            simulate_open_access(built_map, num_entrants=-1)
+
+
+class TestOpacity:
+    def test_check_pair_consistency(self, built_map):
+        from repro.routing.opacity import check_pair
+
+        case = check_pair(
+            built_map, "Denver, CO", "Chicago, IL", "Level 3", "AT&T"
+        )
+        if case is not None:
+            assert case.logically_diverse
+            # Shared conduits imply shared risk groups.
+            if case.shared_conduits:
+                assert case.shared_groups
+            assert case.deceived == (not case.physically_diverse)
+
+    def test_same_isp_not_logically_diverse(self, built_map):
+        from repro.routing.opacity import check_pair
+
+        case = check_pair(
+            built_map, "Denver, CO", "Chicago, IL", "Level 3", "Level 3"
+        )
+        if case is not None:
+            assert not case.logically_diverse
+            assert not case.deceived
+
+    def test_unconnectable_pair_none(self, built_map):
+        from repro.routing.opacity import check_pair
+
+        # Suddenlink cannot connect two northwest cities.
+        assert check_pair(
+            built_map, "Seattle, WA", "Portland, OR", "Suddenlink", "Level 3"
+        ) is None
+
+    def test_study_aggregates(self, built_map):
+        from repro.routing.opacity import opacity_study
+
+        study = opacity_study(built_map, ("Level 3", "AT&T"), max_pairs=5)
+        assert study.total <= 5
+        assert 0 <= study.deceived_count <= study.total
+        assert study.mean_shared_groups() >= 0

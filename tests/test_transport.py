@@ -1,0 +1,192 @@
+"""Tests for the transportation substrate: builder, network, rights-of-way."""
+
+import networkx as nx
+import pytest
+
+from repro.data.corridors import CORRIDORS, Corridor
+from repro.geo.coords import haversine_km
+from repro.transport.builder import (
+    build_transport_network,
+    corridor_leg_polyline,
+    corridor_polyline,
+)
+from repro.transport.network import canonical_edge
+from repro.transport.rightofway import RowRegistry
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_transport_network()
+
+
+@pytest.fixture(scope="module")
+def primary_net():
+    return build_transport_network(include_secondary=False)
+
+
+class TestCanonicalEdge:
+    def test_order_independence(self):
+        assert canonical_edge("B", "A") == canonical_edge("A", "B") == ("A", "B")
+
+
+class TestBuilder:
+    def test_corridor_polyline_longer_than_los(self):
+        i5 = next(c for c in CORRIDORS if c.name == "I-5")
+        line = corridor_polyline(i5)
+        los = haversine_km(line.start, line.end)
+        assert line.length_km > los
+
+    def test_meander_bounded(self):
+        # Meander adds at most a few percent per leg.
+        i80 = next(c for c in CORRIDORS if c.name == "I-80")
+        for a, b in list(i80.edges())[:5]:
+            leg = corridor_leg_polyline(i80, a, b)
+            from repro.data.cities import city_by_name
+
+            los = city_by_name(a).distance_km(city_by_name(b))
+            assert los <= leg.length_km <= los * 1.2 + 5.0
+
+    def test_leg_orientation(self):
+        i80 = next(c for c in CORRIDORS if c.name == "I-80")
+        a, b = i80.edges()[0]
+        forward = corridor_leg_polyline(i80, a, b)
+        backward = corridor_leg_polyline(i80, b, a)
+        assert forward.points == backward.reversed().points
+
+    def test_leg_not_in_corridor(self):
+        i80 = next(c for c in CORRIDORS if c.name == "I-80")
+        with pytest.raises(ValueError):
+            corridor_leg_polyline(i80, "Miami, FL", "Boston, MA")
+
+    def test_deterministic(self):
+        i10 = next(c for c in CORRIDORS if c.name == "I-10")
+        assert corridor_polyline(i10) == corridor_polyline(i10)
+
+    def test_secondary_increases_edges(self, net, primary_net):
+        assert len(net.edges()) > len(primary_net.edges())
+
+
+class TestNetwork:
+    def test_connected(self, net):
+        assert nx.is_connected(net.graph)
+
+    def test_edge_lookup(self, net):
+        record = net.edge("Provo, UT", "Salt Lake City, UT")
+        assert record.edge == ("Provo, UT", "Salt Lake City, UT")
+        assert "road" in record.kinds
+
+    def test_has_edge(self, net):
+        assert net.has_edge("Salt Lake City, UT", "Provo, UT")
+        assert not net.has_edge("Miami, FL", "Seattle, WA")
+
+    def test_kinds_of_edges(self, net):
+        roads = net.edges_of_kind("road")
+        rails = net.edges_of_kind("rail")
+        pipes = net.edges_of_kind("pipeline")
+        assert len(roads) > len(rails) > len(pipes) > 0
+
+    def test_row_shortest_path_valid(self, net):
+        path, km = net.row_shortest_path("Seattle, WA", "Miami, FL")
+        assert path[0] == "Seattle, WA"
+        assert path[-1] == "Miami, FL"
+        for a, b in zip(path, path[1:]):
+            assert net.has_edge(a, b)
+        assert km >= net.los_km("Seattle, WA", "Miami, FL")
+
+    def test_row_path_kind_restriction(self, net):
+        _, km_all = net.row_shortest_path("Chicago, IL", "Denver, CO")
+        _, km_rail = net.row_shortest_path(
+            "Chicago, IL", "Denver, CO", kinds=("rail",)
+        )
+        assert km_rail >= km_all
+
+    def test_row_path_unreachable_kind(self, net):
+        # The pipeline layer alone does not connect Seattle.
+        with pytest.raises((nx.NetworkXNoPath, nx.NodeNotFound)):
+            net.row_shortest_path(
+                "Seattle, WA", "Miami, FL", kinds=("pipeline",)
+            )
+
+    def test_path_geometry_contiguous(self, net):
+        path, km = net.row_shortest_path("Denver, CO", "Salt Lake City, UT")
+        geometry = net.path_geometry(path)
+        from repro.data.cities import city_by_name
+
+        assert haversine_km(
+            geometry.start, city_by_name("Denver, CO").location
+        ) < 1.0
+        assert geometry.length_km == pytest.approx(km, rel=0.01)
+
+    def test_path_geometry_needs_two(self, net):
+        with pytest.raises(ValueError):
+            net.path_geometry(["Denver, CO"])
+
+    def test_los_symmetric(self, net):
+        assert net.los_km("Denver, CO", "Chicago, IL") == net.los_km(
+            "Chicago, IL", "Denver, CO"
+        )
+
+    def test_total_km_decomposes(self, net):
+        total = net.total_km()
+        parts = sum(net.total_km(k) for k in ("road", "rail", "pipeline"))
+        assert total == pytest.approx(parts)
+
+    def test_corridor_index_kinds(self, primary_net):
+        index = primary_net.corridor_index()
+        assert index.kinds == {"road", "rail", "pipeline"}
+
+    def test_is_primary_flag(self, net):
+        record = net.edge("Provo, UT", "Salt Lake City, UT")
+        assert record.is_primary
+
+    def test_geometry_oriented(self, net):
+        record = net.edge("Provo, UT", "Salt Lake City, UT")
+        fwd = record.geometry_oriented("Provo, UT", "Salt Lake City, UT")
+        rev = record.geometry_oriented("Salt Lake City, UT", "Provo, UT")
+        assert fwd.points == rev.reversed().points
+        with pytest.raises(ValueError):
+            record.geometry_oriented("Provo, UT", "Denver, CO")
+
+
+class TestRowRegistry:
+    @pytest.fixture(scope="class")
+    def registry(self, primary_net):
+        return RowRegistry(primary_net)
+
+    def test_rows_cover_all_corridor_legs(self, registry, primary_net):
+        per_edge = sum(
+            len(registry.rows_for_edge(*record.edge))
+            for record in primary_net.edges()
+        )
+        assert per_edge == len(registry)
+
+    def test_rows_for_edge_road_first(self, registry):
+        rows = registry.rows_for_edge("Provo, UT", "Salt Lake City, UT")
+        kinds = [r.kind for r in rows]
+        assert kinds == sorted(
+            kinds, key=lambda k: {"road": 0, "rail": 1, "pipeline": 2}[k]
+        )
+
+    def test_row_states(self, registry):
+        rows = registry.rows_for_edge("Provo, UT", "Salt Lake City, UT")
+        assert all(r.states == frozenset({"UT"}) for r in rows)
+
+    def test_occupancy(self, registry):
+        row = registry.rows_for_edge("Provo, UT", "Salt Lake City, UT")[0]
+        registry.occupy(row.row_id, "TestISP")
+        assert "TestISP" in registry.occupants(row.row_id)
+        assert row in registry.shared_rows(min_occupants=1)
+
+    def test_occupy_unknown_row(self, registry):
+        with pytest.raises(KeyError):
+            registry.occupy("road:Fake:Nowhere--Elsewhere", "X")
+
+    def test_rows_in_state(self, registry):
+        utah = registry.rows_in_state("UT")
+        assert utah
+        assert all("UT" in r.states for r in utah)
+
+    def test_geometry_available(self, registry):
+        row = registry.rows()[0]
+        geometry = registry.geometry(row.row_id)
+        assert geometry.length_km > 0
