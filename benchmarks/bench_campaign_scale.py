@@ -1,0 +1,30 @@
+"""Benchmark: raw campaign throughput on the array routing core.
+
+Times one full ``run_campaign`` over the benchmark topology.  Size and
+worker count come from ``REPRO_BENCH_TRACES`` / ``REPRO_BENCH_WORKERS``,
+so CI can run a reduced smoke pass and local runs can push toward the
+paper's 4.9M-trace scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+
+
+def test_campaign_scale(benchmark, scenario, report_output):
+    traces = int(os.environ.get("REPRO_BENCH_TRACES", "20000"))
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    topology = scenario.topology
+    config = CampaignConfig(num_traces=traces, seed=2020, workers=workers)
+    records = benchmark.pedantic(
+        run_campaign, args=(topology, config), rounds=1, iterations=1
+    )
+    assert len(records) == traces
+    assert all(r.reached for r in records)
+    report_output(
+        "campaign_scale",
+        f"campaign scale: {traces} traces, {workers} worker(s), "
+        f"{len(records)} records",
+    )

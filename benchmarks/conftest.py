@@ -1,35 +1,66 @@
 """Benchmark fixtures: the full-size scenario and output capture.
 
 Each benchmark regenerates one paper table/figure, times it, prints the
-rows/series, and persists them under ``benchmarks/output/`` so the
-paper-vs-measured comparison survives the run.
+rows/series, and persists them under ``benchmarks/output/`` — the
+artifact as ``<name>.txt`` plus a machine-readable ``BENCH_<name>.json``
+(wall time, campaign size, cache hit/miss) so perf regressions are
+diffable alongside the paper-vs-measured comparison.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.scenario import Scenario
 
-#: Full-size campaign for the traffic benchmarks.
-BENCH_CAMPAIGN_TRACES = 20000
+#: Full-size campaign for the traffic benchmarks (env-overridable so CI
+#: can run a reduced smoke pass).
+BENCH_CAMPAIGN_TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "20000"))
 
 
 @pytest.fixture(scope="session")
 def scenario() -> Scenario:
-    return Scenario(seed=2015, campaign_traces=BENCH_CAMPAIGN_TRACES)
+    return Scenario(
+        seed=2015,
+        campaign_traces=BENCH_CAMPAIGN_TRACES,
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+    )
 
 
-@pytest.fixture(scope="session")
-def report_output():
+def _wall_time_s(request, started: float) -> float:
+    """Benchmark mean when pytest-benchmark ran, else elapsed time."""
+    try:
+        stats = request.getfixturevalue("benchmark").stats
+        return float(stats.stats.mean)
+    except Exception:
+        return time.perf_counter() - started
+
+
+@pytest.fixture()
+def report_output(request, scenario):
     """Writer that persists and echoes each experiment's artifact."""
     output_dir = Path(__file__).parent / "output"
     output_dir.mkdir(exist_ok=True)
+    started = time.perf_counter()
 
     def write(name: str, text: str) -> None:
         (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        campaign = scenario._campaign  # peek: never force a build here
+        payload = {
+            "name": name,
+            "wall_time_s": _wall_time_s(request, started),
+            "campaign_traces": scenario.campaign_traces,
+            "campaign_records": len(campaign) if campaign is not None else None,
+            "cache": scenario.cache_stats(),
+        }
+        (output_dir / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
         banner = "=" * 72
         print(f"\n{banner}\n{text}\n{banner}")
 

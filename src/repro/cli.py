@@ -9,8 +9,11 @@ Commands
 ``layers``                 render the road and rail layers (ASCII)
 ``audit <ISP>``            shared-risk audit for one provider
 ``cut <cityA> <cityB>``    assess a right-of-way cut between two cities
+``cache {info,clear}``     inspect or empty the persistent artifact cache
 
-Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size.
+Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size,
+``--workers N`` campaign worker processes (0 = one per core),
+``--cache-dir PATH`` / ``--no-cache`` to control the artifact cache.
 """
 
 from __future__ import annotations
@@ -32,6 +35,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--traces", type=int, default=5000,
         help="traceroute campaign size (traffic analyses)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="campaign worker processes (0 = one per CPU core)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent artifact cache directory (enables the cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache even if REPRO_CACHE is set",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -80,6 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "exchange", help="plan jointly funded conduits (the §6.3 model)"
     )
     exchange.add_argument("--conduits", type=int, default=5)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or empty the persistent artifact cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -320,11 +340,31 @@ def _cmd_exchange(scenario: Scenario, num_conduits: int) -> int:
     return 0
 
 
+def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
+    from repro.perf.cache import ArtifactCache
+
+    cache = ArtifactCache(cache_dir) if cache_dir else ArtifactCache()
+    if action == "info":
+        print(cache.info_text())
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached artifact(s) from {cache.root}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "experiments":
         return _cmd_experiments()
-    scenario = us2015(seed=args.seed, campaign_traces=args.traces)
+    if args.command == "cache":
+        return _cmd_cache(args.action, args.cache_dir)
+    cache = False if args.no_cache else (args.cache_dir or None)
+    scenario = us2015(
+        seed=args.seed,
+        campaign_traces=args.traces,
+        workers=args.workers,
+        cache=cache,
+    )
     if args.command == "run":
         return _cmd_run(scenario, args.ids)
     if args.command == "map":

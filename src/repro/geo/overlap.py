@@ -9,8 +9,8 @@ the corridor geometry of each infrastructure kind.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.geo.coords import GeoPoint
 from repro.geo.grid import SpatialGridIndex
@@ -67,7 +67,7 @@ class OverlapProfile:
     fractions: Mapping[str, float]
     any_fraction: float
     samples: int
-    union_fractions: Mapping[frozenset, float] = None
+    union_fractions: Optional[Mapping[frozenset, float]] = field(default=None)
 
     def fraction(self, kind: str) -> float:
         return self.fractions.get(kind, 0.0)
@@ -134,16 +134,26 @@ def colocated_fraction(
     return overlap_profile(route, index, buffer_km, spacing_km).fraction(kind)
 
 
+#: Float round-off tolerance for fractions that were averaged or summed
+#: before binning.
+_ROUNDOFF_EPS = 1e-9
+
+
 def histogram(values: Iterable[float], bins: int = 10) -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
     """Histogram over [0, 1] used for the paper's Figure 4.
 
     Returns (bin_left_edges, counts).  Values equal to 1.0 fall in the
-    last bin.
+    last bin; values within ``1e-9`` outside [0, 1] are clamped (float
+    round-off from averaging), anything farther out still raises.
     """
     if bins <= 0:
         raise ValueError("bins must be positive")
     counts = [0] * bins
     for v in values:
+        if -_ROUNDOFF_EPS <= v < 0.0:
+            v = 0.0
+        elif 1.0 < v <= 1.0 + _ROUNDOFF_EPS:
+            v = 1.0
         if not 0.0 <= v <= 1.0:
             raise ValueError(f"co-location fraction out of [0,1]: {v}")
         idx = min(int(v * bins), bins - 1)

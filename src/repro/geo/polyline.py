@@ -5,27 +5,39 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.geo.coords import GeoPoint, great_circle_interpolate, haversine_km
-from repro.geo.projection import point_segment_distance_km
+from repro.geo.vectorized import (
+    haversine_km_batch,
+    min_distance_to_segments_km,
+    points_to_arrays,
+)
 
 
 class Polyline:
     """An ordered sequence of geographic points with geometric queries.
 
     Used for conduit geometry, road/rail corridor geometry, and
-    traceroute-path geometry.  Immutable once constructed.
+    traceroute-path geometry.  Immutable once constructed.  Leg lengths
+    and point-to-route distances run on vectorized numpy kernels; the
+    scalar routines in :mod:`repro.geo.coords` remain the reference.
     """
 
-    __slots__ = ("_points", "_cumulative")
+    __slots__ = ("_points", "_cumulative", "_segment_arrays")
 
     def __init__(self, points: Iterable[GeoPoint]):
         pts: Tuple[GeoPoint, ...] = tuple(points)
         if len(pts) < 2:
             raise ValueError("a polyline needs at least two points")
         self._points = pts
+        lats, lons = points_to_arrays(pts)
+        legs = haversine_km_batch(lats[:-1], lons[:-1], lats[1:], lons[1:])
         cumulative: List[float] = [0.0]
-        for a, b in zip(pts, pts[1:]):
-            cumulative.append(cumulative[-1] + haversine_km(a, b))
+        total = 0.0
+        for leg in legs.tolist():
+            total += leg
+            cumulative.append(total)
         self._cumulative = tuple(cumulative)
+        #: Per-segment endpoint arrays, shared by every distance query.
+        self._segment_arrays = (lats[:-1], lons[:-1], lats[1:], lons[1:])
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -113,9 +125,7 @@ class Polyline:
 
     def distance_to_point_km(self, point: GeoPoint) -> float:
         """Minimum distance from *point* to any segment of the polyline."""
-        return min(
-            point_segment_distance_km(point, a, b) for a, b in self.segments()
-        )
+        return min_distance_to_segments_km(point, *self._segment_arrays)
 
     def concat(self, other: "Polyline") -> "Polyline":
         """Join two polylines; *other* must start where this one ends."""

@@ -1,0 +1,199 @@
+"""Persistent on-disk cache for expensive scenario artifacts.
+
+A full US2015 scenario build costs double-digit seconds; repeated
+experiment and benchmark runs rebuild the same deterministic artifacts
+every time.  This store memoizes whole stages — ground truth,
+constructed map, campaign, overlay — as pickles keyed by
+
+    (stage, parameters, code version)
+
+where the code version is a hash over the ``repro`` package's own
+source files.  Editing any module therefore invalidates every cached
+artifact automatically; stale entries are never served.
+
+Layout: one ``<stage>-<digest>.pkl`` per artifact directly under the
+cache root (default ``~/.cache/repro``, overridable via
+``REPRO_CACHE_DIR``).  ``python -m repro cache {info,clear}`` inspects
+and empties it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Truthy/falsy spellings accepted in ``REPRO_CACHE``.
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off")
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the installed ``repro`` sources (memoized per process)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def default_cache_root() -> Path:
+    """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored artifact."""
+
+    stage: str
+    path: Path
+    size_bytes: int
+
+
+class ArtifactCache:
+    """Pickle store for scenario stages, with hit/miss accounting."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root).expanduser() if root else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path_for(self, stage: str, params: Dict[str, Any]) -> Path:
+        key = json.dumps(
+            {"stage": stage, "params": params, "code": code_version()},
+            sort_keys=True,
+        )
+        digest = hashlib.sha256(key.encode()).hexdigest()[:20]
+        return self.root / f"{stage}-{digest}.pkl"
+
+    def fetch(self, stage: str, params: Dict[str, Any]) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise.
+
+        Unreadable or corrupt entries count as misses and are rebuilt.
+        """
+        path = self._path_for(stage, params)
+        try:
+            value = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, stage: str, params: Dict[str, Any], value: Any) -> Path:
+        """Atomically persist one artifact (write to temp, then rename)."""
+        path = self._path_for(stage, params)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[CacheEntry]:
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in sorted(self.root.glob("*.pkl")):
+            stage = path.stem.rsplit("-", 1)[0]
+            found.append(
+                CacheEntry(
+                    stage=stage, path=path, size_bytes=path.stat().st_size
+                )
+            )
+        return found
+
+    def info_text(self) -> str:
+        entries = self.entries()
+        lines = [f"cache root: {self.root}"]
+        if not entries:
+            lines.append("empty")
+            return "\n".join(lines)
+        total = sum(e.size_bytes for e in entries)
+        by_stage: Dict[str, List[CacheEntry]] = {}
+        for entry in entries:
+            by_stage.setdefault(entry.stage, []).append(entry)
+        for stage in sorted(by_stage):
+            group = by_stage[stage]
+            size = sum(e.size_bytes for e in group)
+            lines.append(
+                f"  {stage:16s} {len(group):3d} artifact(s)  "
+                f"{size / 1e6:8.2f} MB"
+            )
+        lines.append(
+            f"total: {len(entries)} artifact(s), {total / 1e6:.2f} MB"
+        )
+        return "\n".join(lines)
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+CacheLike = Union[None, bool, str, Path, ArtifactCache]
+
+
+def resolve_cache(cache: CacheLike) -> Optional[ArtifactCache]:
+    """Map a user-facing cache setting onto an :class:`ArtifactCache`.
+
+    ``None`` defers to the environment: caching turns on when
+    ``REPRO_CACHE_DIR`` is set or ``REPRO_CACHE`` is truthy, and an
+    explicit falsy ``REPRO_CACHE`` wins over both.  ``True``/``False``
+    force it; a path selects a specific root; an existing cache object
+    passes through.
+    """
+    if isinstance(cache, ArtifactCache):
+        return cache
+    if cache is True:
+        return ArtifactCache()
+    if cache is False:
+        return None
+    if cache is None:
+        flag = os.environ.get("REPRO_CACHE")
+        if flag is not None and flag.strip().lower() in _FALSE:
+            return None
+        if os.environ.get("REPRO_CACHE_DIR"):
+            return ArtifactCache()
+        if flag is not None and flag.strip().lower() in _TRUE:
+            return ArtifactCache()
+        return None
+    return ArtifactCache(cache)

@@ -15,13 +15,14 @@ derive deterministically from the scenario seed.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.fibermap.elements import FiberMap
 from repro.fibermap.pipeline import ConstructionReport, MapConstructionPipeline
 from repro.fibermap.publish import ProviderMap, publish_provider_maps
 from repro.fibermap.records import RecordsCorpus, generate_records
 from repro.fibermap.synthesis import GroundTruth, synthesize_ground_truth
+from repro.perf.cache import CacheLike, resolve_cache
 from repro.risk.matrix import RiskMatrix
 from repro.traceroute.campaign import CampaignConfig, run_campaign
 from repro.traceroute.geolocate import GeolocationDatabase
@@ -42,15 +43,28 @@ class Scenario:
     Every property is computed on first access and cached; all
     randomness is seeded from ``seed``, so two scenarios with the same
     arguments are identical.
+
+    *workers* shards the traceroute campaign across processes
+    (0 auto-detects cores) without changing its records.  *cache*
+    selects the persistent artifact cache: ``None`` defers to the
+    ``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment (off by default),
+    ``True``/``False`` force it, a path selects a specific cache root.
+    Cached stages (ground truth, constructed map, campaign, overlay)
+    are keyed by seed, campaign size, and a hash of the package source,
+    so a warm cache can never serve stale artifacts.
     """
 
     def __init__(
         self,
         seed: int = 2015,
         campaign_traces: int = DEFAULT_CAMPAIGN_TRACES,
+        workers: int = 1,
+        cache: CacheLike = None,
     ):
         self.seed = seed
         self.campaign_traces = campaign_traces
+        self.workers = workers
+        self.cache = resolve_cache(cache)
         self._ground_truth: Optional[GroundTruth] = None
         self._provider_maps: Optional[Dict[str, ProviderMap]] = None
         self._corpus: Optional[RecordsCorpus] = None
@@ -64,10 +78,39 @@ class Scenario:
         self._matrix: Optional[RiskMatrix] = None
 
     # ------------------------------------------------------------------
+    def _cached(
+        self, stage: str, params: Dict[str, Any], build: Callable[[], Any]
+    ) -> Any:
+        """Memoize one stage through the artifact cache, if enabled."""
+        if self.cache is None:
+            return build()
+        hit, value = self.cache.fetch(stage, params)
+        if hit:
+            return value
+        value = build()
+        self.cache.store(stage, params, value)
+        return value
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Hit/miss accounting for benchmarks and diagnostics."""
+        if self.cache is None:
+            return {"enabled": False, "hits": 0, "misses": 0, "root": None}
+        return {
+            "enabled": True,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "root": str(self.cache.root),
+        }
+
+    # ------------------------------------------------------------------
     @property
     def ground_truth(self) -> GroundTruth:
         if self._ground_truth is None:
-            self._ground_truth = synthesize_ground_truth(self.seed)
+            self._ground_truth = self._cached(
+                "ground_truth",
+                {"seed": self.seed},
+                lambda: synthesize_ground_truth(self.seed),
+            )
         return self._ground_truth
 
     @property
@@ -91,12 +134,17 @@ class Scenario:
         return self._corpus
 
     def _run_pipeline(self) -> None:
-        pipeline = MapConstructionPipeline(
-            self.ground_truth,
-            provider_maps=self.provider_maps,
-            corpus=self.records,
+        def build() -> Tuple[FiberMap, ConstructionReport]:
+            pipeline = MapConstructionPipeline(
+                self.ground_truth,
+                provider_maps=self.provider_maps,
+                corpus=self.records,
+            )
+            return pipeline.run()
+
+        self._constructed, self._report = self._cached(
+            "constructed_map", {"seed": self.seed}, build
         )
-        self._constructed, self._report = pipeline.run()
 
     @property
     def constructed_map(self) -> FiberMap:
@@ -129,10 +177,18 @@ class Scenario:
     def campaign(self) -> List[TracerouteRecord]:
         if self._campaign is None:
             config = CampaignConfig(
-                num_traces=self.campaign_traces, seed=self.seed + 5
+                num_traces=self.campaign_traces,
+                seed=self.seed + 5,
+                workers=self.workers,
             )
-            self._campaign = run_campaign(
-                self.topology, config, engine=self.probe_engine
+            # Worker count never changes the records, so it stays out
+            # of the cache key.
+            self._campaign = self._cached(
+                "campaign",
+                {"seed": self.seed, "traces": self.campaign_traces},
+                lambda: run_campaign(
+                    self.topology, config, engine=self.probe_engine
+                ),
             )
         return self._campaign
 
@@ -148,11 +204,19 @@ class Scenario:
     def overlay(self) -> TrafficOverlay:
         """The §4.3 traffic overlay, populated with the full campaign."""
         if self._overlay is None:
-            overlay = TrafficOverlay(
-                self.constructed_map, self.topology, self.geolocation
+
+            def build() -> TrafficOverlay:
+                overlay = TrafficOverlay(
+                    self.constructed_map, self.topology, self.geolocation
+                )
+                overlay.add_traces(self.campaign)
+                return overlay
+
+            self._overlay = self._cached(
+                "overlay",
+                {"seed": self.seed, "traces": self.campaign_traces},
+                build,
             )
-            overlay.add_traces(self.campaign)
-            self._overlay = overlay
         return self._overlay
 
     @property
@@ -172,7 +236,13 @@ class Scenario:
 
 @lru_cache(maxsize=4)
 def us2015(
-    seed: int = 2015, campaign_traces: int = DEFAULT_CAMPAIGN_TRACES
+    seed: int = 2015,
+    campaign_traces: int = DEFAULT_CAMPAIGN_TRACES,
+    workers: int = 1,
+    cache: CacheLike = None,
 ) -> Scenario:
     """The canonical scenario, cached so experiments share one instance."""
-    return Scenario(seed=seed, campaign_traces=campaign_traces)
+    return Scenario(
+        seed=seed, campaign_traces=campaign_traces, workers=workers,
+        cache=cache,
+    )

@@ -6,13 +6,24 @@ access networks (cable MSOs and consumer ISPs) weighted by population,
 and destinations concentrate in content cities hosted on transit
 backbones — which is why Level 3 dominates the observed conduit usage
 (Table 4).
+
+Every trace index owns a private RNG stream derived from
+``(config.seed, index)``, so a campaign is an order-independent map
+over trace indices: the serial loop and the sharded
+``ProcessPoolExecutor`` path produce byte-identical records, and any
+subrange can be regenerated without replaying the whole campaign.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from bisect import bisect
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Dict, List, Optional, Tuple
 
 from repro.data.cities import city_by_name
 from repro.traceroute.probe import ProbeEngine, TracerouteRecord
@@ -47,6 +58,15 @@ DEFAULT_DEST_ISPS: Tuple[Tuple[str, float], ...] = (
     ("GTT", 0.4),
 )
 
+#: Retry budget within one trace's private RNG stream: degenerate draws
+#: (same endpoint, missing POP) are redrawn from the same stream, which
+#: keeps every trace independent of all others.
+MAX_ATTEMPTS_PER_TRACE = 128
+
+#: Smallest shard handed to one worker task; keeps task dispatch
+#: overhead negligible next to the tracing work.
+_MIN_CHUNK = 250
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -61,63 +81,177 @@ class CampaignConfig:
     dest_population_exponent: float = 1.3
     #: Client cities are weighted by population to this power.
     client_population_exponent: float = 0.9
+    #: Worker processes: 1 runs in-process, 0 auto-detects CPU cores.
+    #: The record stream is identical for every worker count.
+    workers: int = 1
 
 
-def _weighted_cities(
+def _city_table(
     topology: InternetTopology, isp: str, exponent: float
 ) -> Tuple[List[str], List[float]]:
     cities = topology.cities_of(isp)
-    weights = [
-        max(1.0, float(city_by_name(c).population)) ** exponent for c in cities
+    cum_weights = list(
+        accumulate(
+            max(1.0, float(city_by_name(c).population)) ** exponent
+            for c in cities
+        )
+    )
+    return cities, cum_weights
+
+
+class _CampaignPlan:
+    """Deterministic sampling tables, identical in every worker."""
+
+    def __init__(self, topology: InternetTopology, config: CampaignConfig):
+        available = set(topology.providers())
+        client = [(i, w) for i, w in config.client_isps if i in available]
+        dest = [(i, w) for i, w in config.dest_isps if i in available]
+        if not client or not dest:
+            raise ValueError("no usable client or destination providers")
+        self.client_names = [i for i, _ in client]
+        self.client_cum = list(accumulate(w for _, w in client))
+        self.dest_names = [i for i, _ in dest]
+        self.dest_cum = list(accumulate(w for _, w in dest))
+        self.client_cities: Dict[str, Tuple[List[str], List[float]]] = {
+            isp: _city_table(topology, isp, config.client_population_exponent)
+            for isp in self.client_names
+        }
+        self.dest_cities: Dict[str, Tuple[List[str], List[float]]] = {
+            isp: _city_table(topology, isp, config.dest_population_exponent)
+            for isp in self.dest_names
+        }
+        #: Every router node a campaign trace can target — the batch the
+        #: array routing core precomputes in one C Dijkstra call.
+        self.dest_nodes: List[Tuple[str, str]] = [
+            (isp, city)
+            for isp in self.dest_names
+            for city in self.dest_cities[isp][0]
+        ]
+
+
+def _trace_seed(seed: int, index: int) -> int:
+    """A well-mixed, process-stable seed for one trace's RNG stream."""
+    data = f"{seed}:{index}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+def _pick(rng: random.Random, values: List[str], cum: List[float]) -> str:
+    """One weighted draw; same semantics as ``rng.choices`` with
+    ``cum_weights`` but without its per-call overhead."""
+    return values[bisect(cum, rng.random() * cum[-1], 0, len(values) - 1)]
+
+
+def _trace_for_index(
+    engine: ProbeEngine,
+    plan: _CampaignPlan,
+    config: CampaignConfig,
+    index: int,
+) -> TracerouteRecord:
+    """The record for one trace index, independent of all other traces."""
+    rng = random.Random(_trace_seed(config.seed, index))
+    for _ in range(MAX_ATTEMPTS_PER_TRACE):
+        src_isp = _pick(rng, plan.client_names, plan.client_cum)
+        dst_isp = _pick(rng, plan.dest_names, plan.dest_cum)
+        cities, cum = plan.client_cities[src_isp]
+        src_city = _pick(rng, cities, cum)
+        cities, cum = plan.dest_cities[dst_isp]
+        dst_city = _pick(rng, cities, cum)
+        if src_city == dst_city and src_isp == dst_isp:
+            continue
+        record = engine.trace(src_city, src_isp, dst_city, dst_isp, rng=rng)
+        if record.reached:
+            return record
+    raise RuntimeError(
+        f"trace {index}: no reachable (src, dst) pair after "
+        f"{MAX_ATTEMPTS_PER_TRACE} draws; topology too disconnected"
+    )
+
+
+def resolve_workers(workers: int) -> int:
+    """Worker count with 0 meaning one per CPU core."""
+    if workers == 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, workers)
+
+
+# ----------------------------------------------------------------------
+# Worker-process state.  Populated once per worker by the pool
+# initializer; under the default ``fork`` start method the topology
+# (and its compiled routing core) is inherited copy-on-write.
+_WORKER_STATE: Optional[
+    Tuple[ProbeEngine, _CampaignPlan, CampaignConfig]
+] = None
+
+
+def _init_worker(topology: InternetTopology, config: CampaignConfig) -> None:
+    global _WORKER_STATE
+    engine = ProbeEngine(topology, seed=config.seed + 1)
+    plan = _CampaignPlan(topology, config)
+    engine.prepare_destinations(plan.dest_nodes)
+    _WORKER_STATE = (engine, plan, config)
+
+
+def _run_chunk(bounds: Tuple[int, int]) -> List[TracerouteRecord]:
+    start, stop = bounds
+    engine, plan, config = _WORKER_STATE
+    return [
+        _trace_for_index(engine, plan, config, index)
+        for index in range(start, stop)
     ]
-    return cities, weights
 
 
 def run_campaign(
     topology: InternetTopology,
     config: Optional[CampaignConfig] = None,
     engine: Optional[ProbeEngine] = None,
+    workers: Optional[int] = None,
 ) -> List[TracerouteRecord]:
     """Generate a full campaign of traceroutes, deterministically.
 
-    Unreachable picks (client provider absent from a city, etc.) are
-    skipped and retried, so the result always has ``num_traces`` records
-    unless the topology is pathologically disconnected.
+    Degenerate picks (identical endpoints, client provider absent from
+    a city, etc.) are redrawn within the trace's own RNG stream, so the
+    result always has exactly ``num_traces`` reached records unless the
+    topology is pathologically disconnected.
+
+    *workers* overrides ``config.workers`` (0 auto-detects cores).  The
+    record stream is identical for every worker count; *engine* is only
+    used by the in-process path — shards build their own engines.
     """
     config = config if config is not None else CampaignConfig()
-    rng = random.Random(config.seed)
-    if engine is None:
-        engine = ProbeEngine(topology, seed=config.seed + 1)
-    available = set(topology.providers())
-    client_isps = [(i, w) for i, w in config.client_isps if i in available]
-    dest_isps = [(i, w) for i, w in config.dest_isps if i in available]
-    if not client_isps or not dest_isps:
-        raise ValueError("no usable client or destination providers")
-    client_names = [i for i, _ in client_isps]
-    client_weights = [w for _, w in client_isps]
-    dest_names = [i for i, _ in dest_isps]
-    dest_weights = [w for _, w in dest_isps]
-    city_cache: Dict[Tuple[str, float], Tuple[List[str], List[float]]] = {}
-
-    def pick_city(isp: str, exponent: float) -> str:
-        key = (isp, exponent)
-        if key not in city_cache:
-            city_cache[key] = _weighted_cities(topology, isp, exponent)
-        cities, weights = city_cache[key]
-        return rng.choices(cities, weights=weights, k=1)[0]
-
+    plan = _CampaignPlan(topology, config)
+    n_workers = resolve_workers(
+        config.workers if workers is None else workers
+    )
+    if n_workers > 1 and config.num_traces < 2 * _MIN_CHUNK:
+        n_workers = 1  # not worth forking for a tiny campaign
+    if n_workers <= 1:
+        if engine is None:
+            engine = ProbeEngine(topology, seed=config.seed + 1)
+        engine.prepare_destinations(plan.dest_nodes)
+        return [
+            _trace_for_index(engine, plan, config, index)
+            for index in range(config.num_traces)
+        ]
+    # Warm the shared routing core before forking so every worker
+    # inherits the batched predecessor arrays instead of recomputing.
+    core_factory = getattr(topology, "routing_core", None)
+    if core_factory is not None:
+        core = core_factory()
+        if core is not None:
+            core.prepare(plan.dest_nodes)
+    chunk = max(_MIN_CHUNK, -(-config.num_traces // (n_workers * 4)))
+    bounds = [
+        (start, min(start + chunk, config.num_traces))
+        for start in range(0, config.num_traces, chunk)
+    ]
     records: List[TracerouteRecord] = []
-    attempts = 0
-    max_attempts = config.num_traces * 10
-    while len(records) < config.num_traces and attempts < max_attempts:
-        attempts += 1
-        src_isp = rng.choices(client_names, weights=client_weights, k=1)[0]
-        dst_isp = rng.choices(dest_names, weights=dest_weights, k=1)[0]
-        src_city = pick_city(src_isp, config.client_population_exponent)
-        dst_city = pick_city(dst_isp, config.dest_population_exponent)
-        if src_city == dst_city and src_isp == dst_isp:
-            continue
-        record = engine.trace(src_city, src_isp, dst_city, dst_isp)
-        if record.reached:
-            records.append(record)
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(topology, config),
+    ) as pool:
+        for part in pool.map(_run_chunk, bounds):
+            records.extend(part)
     return records

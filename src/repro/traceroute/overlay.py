@@ -17,6 +17,7 @@ import networkx as nx
 
 from repro.data.cities import city_by_name
 from repro.fibermap.elements import FiberMap
+from repro.perf.routing import RoutingCore, build_routing_core
 from repro.traceroute.geolocate import GeolocationDatabase, resolve_hop_city
 from repro.traceroute.probe import TracerouteRecord
 from repro.traceroute.topology import InternetTopology, _slug
@@ -63,6 +64,9 @@ class TrafficOverlay:
         self._traffic: Dict[str, ConduitTraffic] = {}
         self._generic_graph = fiber_map.simple_conduit_graph()
         self._isp_graphs: Dict[str, nx.Graph] = {}
+        #: One compiled array routing core per conduit graph ("*" =
+        #: generic); None entries mean scipy is unavailable.
+        self._cores: Dict[str, Optional[RoutingCore]] = {}
         self._path_cache: Dict[Tuple[str, str, str], Optional[Tuple[str, ...]]] = {}
         self._traces_processed = 0
         self._hops_unresolved = 0
@@ -94,14 +98,31 @@ class TrafficOverlay:
                 graph = None
         if graph is None:
             graph = self._generic_graph
+            core_key = "*"
+        else:
+            core_key = isp or "*"
         result: Optional[Tuple[str, ...]] = None
-        try:
-            path = nx.shortest_path(graph, city_a, city_b, weight="length_km")
-            result = tuple(
-                graph[u][v]["conduit_id"] for u, v in zip(path, path[1:])
+        if core_key not in self._cores:
+            self._cores[core_key] = build_routing_core(
+                graph, weight="length_km"
             )
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
-            result = None
+        core = self._cores[core_key]
+        if core is not None:
+            path = core.path(city_a, city_b)
+            if path is not None and len(path) > 1:
+                result = tuple(
+                    graph[u][v]["conduit_id"] for u, v in zip(path, path[1:])
+                )
+        else:  # scipy unavailable: NetworkX reference path
+            try:
+                path = nx.shortest_path(
+                    graph, city_a, city_b, weight="length_km"
+                )
+                result = tuple(
+                    graph[u][v]["conduit_id"] for u, v in zip(path, path[1:])
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                result = None
         self._path_cache[key] = result
         return result
 

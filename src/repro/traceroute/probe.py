@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.perf.routing import RoutingCore, build_routing_core
 from repro.traceroute.topology import InternetTopology
 
 #: Client access-network delay added to every RTT sample, milliseconds.
@@ -51,19 +52,61 @@ class TracerouteRecord:
 class ProbeEngine:
     """Simulates traceroutes over an :class:`InternetTopology`.
 
-    Router-level paths are cached per (source, destination) router pair,
-    so large campaigns re-use the expensive shortest-path computation.
+    Shortest paths come from the compiled array routing core
+    (:mod:`repro.perf.routing`) when scipy is available; the original
+    per-destination NetworkX Dijkstra stays as the reference
+    implementation (``use_array_core=False``) and either way the
+    per-destination computation is cached, so large campaigns re-use it
+    across thousands of traces.
     """
 
-    def __init__(self, topology: InternetTopology, seed: int = 31):
+    def __init__(
+        self,
+        topology: InternetTopology,
+        seed: int = 31,
+        use_array_core: Optional[bool] = None,
+    ):
         self._topology = topology
         self._rng = random.Random(seed)
-        # Per-destination shortest-path predecessor maps: campaigns probe
-        # few destinations from many sources, so one Dijkstra per
-        # destination amortizes over thousands of traces.
+        # Per-destination shortest-path predecessor maps (reference
+        # implementation): campaigns probe few destinations from many
+        # sources, so one Dijkstra per destination amortizes.
         self._pred_cache: Dict[Tuple[str, str], Dict] = {}
+        # Flat both-direction latency table: hop rendering touches one
+        # edge per hop, and a plain dict lookup beats building a
+        # NetworkX adjacency view every time.
+        self._edge_ms: Dict[Tuple[Tuple[str, str], Tuple[str, str]], float] = {}
+        for u, v, ms in topology.graph.edges(data="ms", default=0.0):
+            self._edge_ms[(u, v)] = ms
+            self._edge_ms[(v, u)] = ms
+        core: Optional[RoutingCore] = None
+        if use_array_core is not False:
+            # InternetTopology shares one compiled core per topology;
+            # duck-typed stand-ins (e.g. DegradedTopology) get a fresh
+            # compile of their own graph.
+            factory = getattr(topology, "routing_core", None)
+            core = (
+                factory()
+                if factory is not None
+                else build_routing_core(topology.graph)
+            )
+            if core is None and use_array_core is True:
+                raise RuntimeError(
+                    "array routing core requested but scipy is unavailable"
+                )
+        self._core = core
+
+    @property
+    def uses_array_core(self) -> bool:
+        return self._core is not None
 
     # ------------------------------------------------------------------
+    def prepare_destinations(self, dst_nodes) -> int:
+        """Batch one Dijkstra over every new destination (array core)."""
+        if self._core is None:
+            return 0
+        return self._core.prepare(dst_nodes)
+
     def _predecessors(self, dst_node: Tuple[str, str]) -> Dict:
         pred = self._pred_cache.get(dst_node)
         if pred is None:
@@ -73,7 +116,10 @@ class ProbeEngine:
             self._pred_cache[dst_node] = pred
         return pred
 
-    def _route(self, src_node: Tuple[str, str], dst_node: Tuple[str, str]):
+    def _route_reference(
+        self, src_node: Tuple[str, str], dst_node: Tuple[str, str]
+    ):
+        """The NetworkX reference path (cross-checked against the core)."""
         graph = self._topology.graph
         if src_node not in graph or dst_node not in graph:
             return None
@@ -91,6 +137,11 @@ class ProbeEngine:
             path.append(node)
         return path if path[-1] == dst_node else None
 
+    def _route(self, src_node: Tuple[str, str], dst_node: Tuple[str, str]):
+        if self._core is not None:
+            return self._core.path(src_node, dst_node)
+        return self._route_reference(src_node, dst_node)
+
     def router_path(
         self, src_city: str, src_isp: str, dst_city: str, dst_isp: str
     ) -> Optional[List[Tuple[str, str]]]:
@@ -103,9 +154,21 @@ class ProbeEngine:
 
     # ------------------------------------------------------------------
     def trace(
-        self, src_city: str, src_isp: str, dst_city: str, dst_isp: str
+        self,
+        src_city: str,
+        src_isp: str,
+        dst_city: str,
+        dst_isp: str,
+        rng: Optional[random.Random] = None,
     ) -> TracerouteRecord:
-        """Run one traceroute and render its observable hops."""
+        """Run one traceroute and render its observable hops.
+
+        *rng* overrides the engine's own noise stream; the campaign
+        engine passes a per-trace RNG so that records are independent of
+        execution order (serial vs. sharded workers).
+        """
+        if rng is None:
+            rng = self._rng
         path = self.router_path(src_city, src_isp, dst_city, dst_isp)
         if path is None:
             return TracerouteRecord(
@@ -116,13 +179,13 @@ class ProbeEngine:
                 hops=(),
                 reached=False,
             )
-        graph = self._topology.graph
+        edge_ms = self._edge_ms
         hops: List[Hop] = []
         one_way = ACCESS_DELAY_MS / 2.0
         previous = None
         for index, node in enumerate(path):
             if previous is not None:
-                one_way += graph[previous][node]["ms"]
+                one_way += edge_ms[(previous, node)]
             previous = node
             isp, _city = node
             # MPLS providers reveal only their ingress and egress routers.
@@ -136,7 +199,7 @@ class ProbeEngine:
                 if not is_edge_of_isp:
                     continue
             router = self._topology.router(*node)
-            rtt = 2.0 * one_way + self._rng.uniform(0.0, QUEUE_NOISE_MS)
+            rtt = 2.0 * one_way + rng.uniform(0.0, QUEUE_NOISE_MS)
             hops.append(Hop(ip=router.ip, dns_name=router.dns_name, rtt_ms=rtt))
         return TracerouteRecord(
             src_city=src_city,

@@ -80,6 +80,26 @@ class TestHistogram:
     def test_rejects_out_of_range(self):
         with pytest.raises(ValueError):
             histogram([1.5])
+        with pytest.raises(ValueError):
+            histogram([-0.01])
+
+    def test_clamps_float_roundoff(self):
+        # Averaged fractions routinely land a few ulps outside [0, 1];
+        # those are clamped rather than rejected.
+        edges, counts = histogram([-1e-10, 1.0 + 1e-10], bins=10)
+        assert sum(counts) == 2
+        assert counts[0] == 1
+        assert counts[9] == 1
+
+    def test_union_fractions_default_none(self, index):
+        from repro.geo.overlap import OverlapProfile
+
+        profile = OverlapProfile(
+            fractions={"road": 1.0}, any_fraction=1.0, samples=10
+        )
+        assert profile.union_fractions is None
+        with pytest.raises(KeyError):
+            profile.union("road", "rail")
 
     def test_rejects_bad_bins(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,225 @@
+"""Tests for the perf layer: array routing core, sharded campaign,
+persistent artifact cache, and their CLI/environment plumbing."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.perf.cache import ArtifactCache, code_version, resolve_cache
+from repro.perf.routing import HAVE_SCIPY, build_routing_core
+from repro.scenario import Scenario
+from repro.traceroute.campaign import (
+    CampaignConfig,
+    resolve_workers,
+    run_campaign,
+)
+from repro.traceroute.probe import ProbeEngine
+
+needs_scipy = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="scipy unavailable: no array routing core"
+)
+
+
+def _edge_cost(graph, path, weight="ms"):
+    return sum(graph[u][v][weight] for u, v in zip(path, path[1:]))
+
+
+@needs_scipy
+class TestRoutingCore:
+    def test_distances_match_networkx(self, topology):
+        graph = topology.graph
+        core = build_routing_core(graph)
+        nodes = sorted(graph.nodes)
+        rng = random.Random(7)
+        for _ in range(40):
+            src, dst = rng.choice(nodes), rng.choice(nodes)
+            try:
+                expected = nx.dijkstra_path_length(
+                    graph, src, dst, weight="ms"
+                )
+            except nx.NetworkXNoPath:
+                assert core.distance(src, dst) == float("inf")
+                continue
+            assert core.distance(src, dst) == pytest.approx(expected)
+
+    def test_paths_are_valid_and_optimal(self, topology):
+        # Equal-cost ties may break differently than NetworkX, so check
+        # the path is real and its cost matches the optimum — not the
+        # exact node sequence.
+        graph = topology.graph
+        core = build_routing_core(graph)
+        nodes = sorted(graph.nodes)
+        rng = random.Random(11)
+        for _ in range(40):
+            src, dst = rng.choice(nodes), rng.choice(nodes)
+            path = core.path(src, dst)
+            if path is None:
+                assert not nx.has_path(graph, src, dst)
+                continue
+            assert path[0] == src and path[-1] == dst
+            for u, v in zip(path, path[1:]):
+                assert graph.has_edge(u, v)
+            assert _edge_cost(graph, path) == pytest.approx(
+                core.distance(src, dst)
+            )
+
+    def test_trivial_and_unknown_queries(self, topology):
+        core = build_routing_core(topology.graph)
+        node = sorted(topology.graph.nodes)[0]
+        assert core.path(node, node) == [node]
+        assert core.path(("NoSuch", "Nowhere"), node) is None
+        assert core.distance(node, ("NoSuch", "Nowhere")) == float("inf")
+
+    def test_prepare_batches_new_destinations(self, topology):
+        core = build_routing_core(topology.graph)
+        nodes = sorted(topology.graph.nodes)[:5]
+        assert core.prepare(nodes) == 5
+        assert core.prepare(nodes) == 0  # already computed
+        assert core.num_prepared == 5
+
+    def test_pickle_drops_prepared_rows(self, topology):
+        import pickle
+
+        core = build_routing_core(topology.graph)
+        core.prepare(sorted(topology.graph.nodes)[:3])
+        clone = pickle.loads(pickle.dumps(core))
+        assert clone.num_prepared == 0
+        assert clone.num_nodes == core.num_nodes
+
+    def test_engine_matches_reference_path_costs(self, topology):
+        fast = ProbeEngine(topology, seed=5)
+        reference = ProbeEngine(topology, seed=5, use_array_core=False)
+        assert fast.uses_array_core
+        assert not reference.uses_array_core
+        graph = topology.graph
+        nodes = sorted(graph.nodes)
+        rng = random.Random(13)
+        for _ in range(25):
+            (src_isp, src_city) = rng.choice(nodes)
+            (dst_isp, dst_city) = rng.choice(nodes)
+            a = fast.router_path(src_city, src_isp, dst_city, dst_isp)
+            b = reference.router_path(src_city, src_isp, dst_city, dst_isp)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert _edge_cost(graph, a) == pytest.approx(
+                    _edge_cost(graph, b)
+                )
+
+
+class TestParallelCampaign:
+    def test_serial_and_parallel_records_identical(self, topology):
+        config = CampaignConfig(num_traces=600, seed=47)
+        serial = run_campaign(topology, config, workers=1)
+        parallel = run_campaign(topology, config, workers=2)
+        assert serial == parallel
+
+    def test_worker_count_stays_out_of_the_records(self, topology):
+        config = CampaignConfig(num_traces=600, seed=47, workers=3)
+        assert run_campaign(topology, config) == run_campaign(
+            topology, config, workers=1
+        )
+
+    def test_small_campaigns_fall_back_to_serial(self, topology):
+        config = CampaignConfig(num_traces=40, seed=3, workers=4)
+        records = run_campaign(topology, config)
+        assert len(records) == 40
+        assert all(r.reached for r in records)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(-2) == 1
+
+
+class TestArtifactCache:
+    def test_store_and_fetch_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        hit, value = cache.fetch("stage", {"seed": 1})
+        assert not hit and value is None
+        cache.store("stage", {"seed": 1}, {"answer": 42})
+        hit, value = cache.fetch("stage", {"seed": 1})
+        assert hit and value == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_keys_separate_stages_and_params(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("a", {"seed": 1}, "a1")
+        cache.store("a", {"seed": 2}, "a2")
+        cache.store("b", {"seed": 1}, "b1")
+        assert cache.fetch("a", {"seed": 2}) == (True, "a2")
+        assert cache.fetch("b", {"seed": 1}) == (True, "b1")
+        assert len(cache.entries()) == 3
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.store("stage", {}, [1, 2, 3])
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.fetch("stage", {})
+        assert not hit and value is None
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert "empty" in cache.info_text()
+        cache.store("stage", {}, "x")
+        assert "stage" in cache.info_text()
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_cold_then_warm_scenario_identical(self, tmp_path):
+        cold = Scenario(seed=77, campaign_traces=120, cache=tmp_path)
+        cold_campaign = cold.campaign
+        stats = cold.cache_stats()
+        assert stats["enabled"] and stats["misses"] >= 1
+        warm = Scenario(seed=77, campaign_traces=120, cache=tmp_path)
+        assert warm.campaign == cold_campaign
+        stats = warm.cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] == 0
+
+    def test_cache_disabled_by_default(self):
+        scenario = Scenario(seed=77, campaign_traces=120)
+        assert scenario.cache_stats() == {
+            "enabled": False, "hits": 0, "misses": 0, "root": None,
+        }
+
+
+class TestResolveCache:
+    def test_explicit_values(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        assert resolve_cache(False) is None
+        assert resolve_cache(tmp_path).root == tmp_path
+        assert resolve_cache(str(tmp_path)).root == tmp_path
+
+    def test_env_defaults(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None) is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache(None).root == tmp_path
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert resolve_cache(None) is None  # explicit falsy flag wins
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert resolve_cache(None) is not None
+
+
+class TestCacheCli:
+    def test_info_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ArtifactCache(tmp_path)
+        cache.store("stage", {}, "x")
+        assert main(["--cache-dir", str(tmp_path), "cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out and "stage" in out
+        assert main(["--cache-dir", str(tmp_path), "cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert cache.entries() == []
