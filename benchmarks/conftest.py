@@ -3,8 +3,14 @@
 Each benchmark regenerates one paper table/figure, times it, prints the
 rows/series, and persists them under ``benchmarks/output/`` — the
 artifact as ``<name>.txt`` plus a machine-readable ``BENCH_<name>.json``
-(wall time, campaign size, cache hit/miss) so perf regressions are
-diffable alongside the paper-vs-measured comparison.
+(wall time, campaign size, cache hit/miss, and the run manifest of
+every stage traced so far) so perf regressions are diffable alongside
+the paper-vs-measured comparison.
+
+The benchmark session runs with tracing **enabled**: a session-scoped
+:class:`repro.obs.Tracer` is installed globally, so every BENCH record
+embeds the span tree (scenario stages, pipeline steps, campaign shards,
+experiments) accumulated up to that benchmark.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.scenario import Scenario
+from repro.obs import RunManifest, Tracer, set_tracer
+from repro.scenario import Scenario, ScenarioConfig
 
 #: Full-size campaign for the traffic benchmarks (env-overridable so CI
 #: can run a reduced smoke pass).
@@ -24,11 +31,22 @@ BENCH_CAMPAIGN_TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "20000"))
 
 
 @pytest.fixture(scope="session")
-def scenario() -> Scenario:
+def bench_tracer() -> Tracer:
+    """Session tracer: every benchmarked stage lands in BENCH records."""
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    yield tracer
+    set_tracer(previous)
+
+
+@pytest.fixture(scope="session")
+def scenario(bench_tracer) -> Scenario:
     return Scenario(
-        seed=2015,
-        campaign_traces=BENCH_CAMPAIGN_TRACES,
-        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        config=ScenarioConfig(
+            seed=2015,
+            campaign_traces=BENCH_CAMPAIGN_TRACES,
+            workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        )
     )
 
 
@@ -42,22 +60,29 @@ def _wall_time_s(request, started: float) -> float:
 
 
 @pytest.fixture()
-def report_output(request, scenario):
+def report_output(request, scenario, bench_tracer):
     """Writer that persists and echoes each experiment's artifact."""
     output_dir = Path(__file__).parent / "output"
     output_dir.mkdir(exist_ok=True)
     started = time.perf_counter()
 
-    def write(name: str, text: str) -> None:
+    def write(name: str, text: str, **extra) -> None:
         (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
         campaign = scenario._campaign  # peek: never force a build here
+        manifest = RunManifest.from_tracer(
+            bench_tracer,
+            config=scenario.config.to_dict(),
+            meta={"bench": name},
+        )
         payload = {
             "name": name,
             "wall_time_s": _wall_time_s(request, started),
             "campaign_traces": scenario.campaign_traces,
             "campaign_records": len(campaign) if campaign is not None else None,
             "cache": scenario.cache_stats(),
+            "manifest": manifest.to_dict(),
         }
+        payload.update(extra)
         (output_dir / f"BENCH_{name}.json").write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )

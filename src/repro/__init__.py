@@ -32,13 +32,14 @@ from repro.fibermap import (
     synthesize_ground_truth,
 )
 from repro.risk import RiskMatrix
-from repro.scenario import Scenario, us2015
+from repro.scenario import Scenario, ScenarioConfig, us2015
 
 __version__ = "1.0.0"
 
 __all__ = [
     "us2015",
     "Scenario",
+    "ScenarioConfig",
     "FiberMap",
     "Conduit",
     "Link",

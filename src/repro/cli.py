@@ -10,20 +10,25 @@ Commands
 ``audit <ISP>``            shared-risk audit for one provider
 ``cut <cityA> <cityB>``    assess a right-of-way cut between two cities
 ``cache {info,clear}``     inspect or empty the persistent artifact cache
+``trace summarize PATH``   render a run manifest written by ``--trace``
 
-Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size,
-``--workers N`` campaign worker processes (0 = one per core),
-``--cache-dir PATH`` / ``--no-cache`` to control the artifact cache.
+Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size
+(default 20000, the library's ``DEFAULT_CAMPAIGN_TRACES``), ``--workers N``
+campaign worker processes (0 = one per core), ``--cache-dir PATH`` /
+``--no-cache`` to control the artifact cache, ``--trace PATH`` to record a
+JSON run manifest of every traced stage, and ``--json`` for
+machine-readable output (``run``, ``audit``, ``cut``, ``cache info``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.scenario import Scenario, us2015
+from repro.scenario import DEFAULT_CAMPAIGN_TRACES, Scenario, ScenarioConfig, us2015
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -33,8 +38,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2015)
     parser.add_argument(
-        "--traces", type=int, default=5000,
-        help="traceroute campaign size (traffic analyses)",
+        "--traces", type=int, default=DEFAULT_CAMPAIGN_TRACES,
+        help="traceroute campaign size (traffic analyses; "
+             f"default {DEFAULT_CAMPAIGN_TRACES})",
     )
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -47,6 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the artifact cache even if REPRO_CACHE is set",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a JSON run manifest of every traced stage to PATH",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON output (run, audit, cut, cache info)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -100,7 +114,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or empty the persistent artifact cache"
     )
     cache.add_argument("action", choices=("info", "clear"))
+
+    trace = sub.add_parser(
+        "trace", help="inspect run manifests written by --trace"
+    )
+    trace.add_argument("action", choices=("summarize",))
+    trace.add_argument("path", help="manifest path")
     return parser
+
+
+def _print_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=False))
 
 
 def _cmd_experiments() -> int:
@@ -111,17 +135,26 @@ def _cmd_experiments() -> int:
     return 0
 
 
-def _cmd_run(scenario: Scenario, ids: List[str]) -> int:
+def _cmd_run(scenario: Scenario, ids: List[str], as_json: bool) -> int:
     from repro.experiments import EXPERIMENTS, run_experiment
 
     chosen = sorted(EXPERIMENTS) if ids == ["all"] else ids
+    unknown = [i for i in chosen if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment: {', '.join(unknown)}", file=sys.stderr
+        )
+        return 2
+    results = []
     for experiment_id in chosen:
-        if experiment_id not in EXPERIMENTS:
-            print(f"unknown experiment: {experiment_id}", file=sys.stderr)
-            return 2
-        _, text = run_experiment(experiment_id, scenario)
-        print(text)
-        print()
+        result = run_experiment(experiment_id, scenario)
+        if as_json:
+            results.append(result.to_json())
+        else:
+            print(result.text)
+            print()
+    if as_json:
+        _print_json(results)
     return 0
 
 
@@ -149,7 +182,7 @@ def _cmd_layers(scenario: Scenario) -> int:
     return 0
 
 
-def _cmd_audit(scenario: Scenario, isp: str) -> int:
+def _cmd_audit(scenario: Scenario, isp: str, as_json: bool) -> int:
     from repro.mitigation.robustness import optimize_isp_around_conduits
     from repro.risk.metrics import isp_ranking
 
@@ -163,13 +196,27 @@ def _cmd_audit(scenario: Scenario, isp: str) -> int:
     ranking = isp_ranking(matrix)
     position = next(i for i, r in enumerate(ranking) if r.isp == isp)
     row = ranking[position]
+    suggestion = optimize_isp_around_conduits(
+        scenario.constructed_map, matrix, isp
+    )
+    if as_json:
+        _print_json({
+            "isp": isp,
+            "average_sharing": row.average,
+            "rank": position + 1,
+            "ranked_isps": len(ranking),
+            "num_conduits": row.num_conduits,
+            "robustness": {
+                "reroutes": len(suggestion.outcomes),
+                "avg_path_inflation": suggestion.avg_pi,
+                "avg_shared_risk_reduction": suggestion.avg_srr,
+            },
+        })
+        return 0
     print(
         f"{isp}: average sharing {row.average:.2f} "
         f"(rank {position + 1}/{len(ranking)}), "
         f"{row.num_conduits} conduits"
-    )
-    suggestion = optimize_isp_around_conduits(
-        scenario.constructed_map, matrix, isp
     )
     print(
         f"robustness suggestion: {len(suggestion.outcomes)} reroutes, "
@@ -178,8 +225,10 @@ def _cmd_audit(scenario: Scenario, isp: str) -> int:
     return 0
 
 
-def _cmd_cut(scenario: Scenario, city_a: str, city_b: str) -> int:
-    from repro.resilience import assess_cut, edge_cut
+def _cmd_cut(
+    scenario: Scenario, city_a: str, city_b: str, as_json: bool
+) -> int:
+    from repro.resilience import assess_cut, edge_cut, traffic_shift
 
     fiber_map = scenario.constructed_map
     try:
@@ -188,6 +237,38 @@ def _cmd_cut(scenario: Scenario, city_a: str, city_b: str) -> int:
         print(error, file=sys.stderr)
         return 2
     impact = assess_cut(fiber_map, event, scenario.overlay)
+    shift = traffic_shift(
+        scenario.topology, event, scenario.campaign, max_traces=800
+    )
+    if as_json:
+        _print_json({
+            "event": {
+                "description": event.description,
+                "conduits_severed": event.size,
+            },
+            "impact": {
+                "isps_affected": impact.isps_affected,
+                "total_links_hit": impact.total_links_hit,
+                "total_pairs_disconnected": impact.total_pairs_disconnected,
+                "probes_affected": impact.probes_affected,
+                "per_isp": [
+                    {
+                        "isp": item.isp,
+                        "links_hit": item.links_hit,
+                        "pairs_disconnected": item.pairs_disconnected,
+                        "mean_reroute_delay_ms": item.mean_reroute_delay_ms,
+                    }
+                    for item in impact.per_isp
+                    if item.links_hit > 0
+                ],
+            },
+            "traffic_shift": {
+                "affected_fraction": shift.affected_fraction,
+                "mean_inflation_ms": shift.mean_inflation_ms,
+                "traces_blackholed": shift.traces_blackholed,
+            },
+        })
+        return 0
     print(f"{event.description}: {event.size} conduit(s) severed")
     print(
         f"providers affected: {impact.isps_affected}; links hit: "
@@ -203,11 +284,6 @@ def _cmd_cut(scenario: Scenario, city_a: str, city_b: str) -> int:
             f"{item.pairs_disconnected} disconnected, reroute "
             f"+{item.mean_reroute_delay_ms:.2f} ms avg"
         )
-    from repro.resilience import traffic_shift
-
-    shift = traffic_shift(
-        scenario.topology, event, scenario.campaign, max_traces=800
-    )
     print(
         f"traffic shift: {shift.affected_fraction:.1%} of traces affected, "
         f"mean +{shift.mean_inflation_ms:.2f} ms, "
@@ -340,11 +416,27 @@ def _cmd_exchange(scenario: Scenario, num_conduits: int) -> int:
     return 0
 
 
-def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
+def _cmd_cache(action: str, cache_dir: Optional[str], as_json: bool) -> int:
     from repro.perf.cache import ArtifactCache
 
     cache = ArtifactCache(cache_dir) if cache_dir else ArtifactCache()
     if action == "info":
+        if as_json:
+            entries = cache.entries()
+            by_stage: Dict[str, Dict[str, int]] = {}
+            for entry in entries:
+                bucket = by_stage.setdefault(
+                    entry.stage, {"artifacts": 0, "size_bytes": 0}
+                )
+                bucket["artifacts"] += 1
+                bucket["size_bytes"] += entry.size_bytes
+            _print_json({
+                "root": str(cache.root),
+                "artifacts": len(entries),
+                "size_bytes": sum(e.size_bytes for e in entries),
+                "stages": by_stage,
+            })
+            return 0
         print(cache.info_text())
         return 0
     removed = cache.clear()
@@ -352,40 +444,82 @@ def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
     return 0
 
 
+def _cmd_trace(action: str, path: str) -> int:
+    from repro.obs import RunManifest
+
+    try:
+        manifest = RunManifest.load(path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"cannot read manifest {path}: {error}", file=sys.stderr)
+        return 2
+    if action == "summarize":
+        print(manifest.summary_text())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Point
+        # stdout at /dev/null so the interpreter's exit flush is quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "cache":
-        return _cmd_cache(args.action, args.cache_dir)
+        return _cmd_cache(args.action, args.cache_dir, args.json)
+    if args.command == "trace":
+        return _cmd_trace(args.action, args.path)
+
+    from repro.obs import RunManifest, Tracer, set_tracer
+
     cache = False if args.no_cache else (args.cache_dir or None)
-    scenario = us2015(
+    config = ScenarioConfig(
         seed=args.seed,
         campaign_traces=args.traces,
         workers=args.workers,
         cache=cache,
     )
-    if args.command == "run":
-        return _cmd_run(scenario, args.ids)
-    if args.command == "map":
-        return _cmd_map(scenario, args.geojson, args.width)
-    if args.command == "layers":
-        return _cmd_layers(scenario)
-    if args.command == "audit":
-        return _cmd_audit(scenario, args.isp)
-    if args.command == "cut":
-        return _cmd_cut(scenario, args.city_a, args.city_b)
-    if args.command == "annotate":
-        return _cmd_annotate(scenario, args.geojson)
-    if args.command == "pareto":
-        return _cmd_pareto(scenario, args.city_a, args.city_b, args.isp)
-    if args.command == "backup":
-        return _cmd_backup(scenario, args.isp, args.city_a, args.city_b)
-    if args.command == "partition":
-        return _cmd_partition(scenario)
-    if args.command == "exchange":
-        return _cmd_exchange(scenario, args.conduits)
-    raise AssertionError("unreachable")  # pragma: no cover
+    tracer = Tracer() if args.trace else None
+    previous = set_tracer(tracer) if tracer is not None else None
+    try:
+        scenario = us2015(config=config)
+        if args.command == "run":
+            return _cmd_run(scenario, args.ids, args.json)
+        if args.command == "map":
+            return _cmd_map(scenario, args.geojson, args.width)
+        if args.command == "layers":
+            return _cmd_layers(scenario)
+        if args.command == "audit":
+            return _cmd_audit(scenario, args.isp, args.json)
+        if args.command == "cut":
+            return _cmd_cut(scenario, args.city_a, args.city_b, args.json)
+        if args.command == "annotate":
+            return _cmd_annotate(scenario, args.geojson)
+        if args.command == "pareto":
+            return _cmd_pareto(scenario, args.city_a, args.city_b, args.isp)
+        if args.command == "backup":
+            return _cmd_backup(scenario, args.isp, args.city_a, args.city_b)
+        if args.command == "partition":
+            return _cmd_partition(scenario)
+        if args.command == "exchange":
+            return _cmd_exchange(scenario, args.conduits)
+        raise AssertionError("unreachable")  # pragma: no cover
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+            manifest = RunManifest.from_tracer(
+                tracer,
+                config=config.to_dict(),
+                meta={"command": args.command},
+            )
+            manifest.write(args.trace)
+            print(f"run manifest written to {args.trace}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

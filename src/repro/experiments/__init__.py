@@ -2,14 +2,22 @@
 
 Every module exposes ``run(scenario) -> result`` and
 ``format_result(result) -> str``; :mod:`repro.experiments.runner` holds
-the registry mapping experiment ids (``table1``, ``fig6``, ...) to them.
+the registry mapping experiment ids (``table1``, ``fig6``, ...) to them
+and wraps each run into a typed :class:`ExperimentResult`.
 """
 
 from repro.experiments.runner import (
     EXPERIMENTS,
     Experiment,
+    ExperimentResult,
     run_all,
     run_experiment,
 )
 
-__all__ = ["EXPERIMENTS", "Experiment", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+]

@@ -1,9 +1,20 @@
-"""Experiment registry: every table and figure, runnable by id."""
+"""Experiment registry: every table and figure, runnable by id.
+
+Running an experiment yields a typed :class:`ExperimentResult` — the
+raw ``data`` object, the formatted ``text`` artifact, and a
+``to_json()`` machine-readable view — replacing the older two-callable
+``(run, format_result)`` contract at the call site.  For compatibility
+an ``ExperimentResult`` still unpacks like the legacy
+``(result, text)`` tuple; new code should use the named fields.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
+
+from repro.obs.serialize import to_jsonable
+from repro.obs.tracer import get_tracer
 
 from repro.experiments import (  # noqa: F401 (re-export convenience)
     ext_annotated,
@@ -110,21 +121,77 @@ def _register() -> Dict[str, Experiment]:
 EXPERIMENTS: Dict[str, Experiment] = _register()
 
 
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The typed outcome of one experiment run.
+
+    ``data`` is the experiment's native result object; ``text`` is the
+    formatted human-readable artifact; :meth:`to_json` renders a fully
+    JSON-serializable document (used by the CLI's ``--json`` flag).
+    """
+
+    experiment_id: str
+    title: str
+    data: Any
+    text: str
+    extension: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "extension": self.extension,
+            "data": to_jsonable(self.data),
+            "text": self.text,
+        }
+
+    def __iter__(self) -> Iterator[Any]:
+        """Deprecated: unpack as the legacy ``(result, text)`` pair."""
+        yield self.data
+        yield self.text
+
+
 def run_experiment(
     experiment_id: str, scenario: Optional[Scenario] = None
-) -> Tuple[Any, str]:
-    """Run one experiment; returns ``(result, formatted_text)``."""
+) -> ExperimentResult:
+    """Run one experiment; returns an :class:`ExperimentResult`.
+
+    Each run is one ``experiment.<id>`` tracing span, so a traced
+    ``run all`` manifest attributes wall time per experiment.
+    """
     experiment = EXPERIMENTS[experiment_id]
     scenario = scenario if scenario is not None else us2015()
-    result = experiment.run(scenario)
-    return result, experiment.format_result(result)
+    tracer = get_tracer()
+    with tracer.span(f"experiment.{experiment_id}"):
+        data = experiment.run(scenario)
+        text = experiment.format_result(data)
+        tracer.annotate(extension=experiment.extension)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=experiment.title,
+        data=data,
+        text=text,
+        extension=experiment.extension,
+    )
 
 
-def run_all(scenario: Optional[Scenario] = None) -> List[Tuple[str, str]]:
-    """Run every experiment; returns ``(id, formatted_text)`` pairs."""
+def run_all(
+    scenario: Optional[Scenario] = None,
+    ids: Optional[Iterable[str]] = None,
+) -> Iterator[ExperimentResult]:
+    """Run experiments in id order, streaming each result.
+
+    Runs every registered experiment by default, or just ``ids`` when
+    given (unknown ids raise ``KeyError`` before anything runs).
+    Yields :class:`ExperimentResult` as each experiment completes, so
+    callers can render incrementally instead of waiting for the full
+    sweep.  (Previously returned a fully materialized list of
+    ``(id, text)`` pairs; iterate and use the named fields instead.)
+    """
+    selected = sorted(EXPERIMENTS) if ids is None else sorted(ids)
+    for experiment_id in selected:
+        if experiment_id not in EXPERIMENTS:
+            raise KeyError(experiment_id)
     scenario = scenario if scenario is not None else us2015()
-    output = []
-    for experiment_id in sorted(EXPERIMENTS):
-        _, text = run_experiment(experiment_id, scenario)
-        output.append((experiment_id, text))
-    return output
+    for experiment_id in selected:
+        yield run_experiment(experiment_id, scenario)

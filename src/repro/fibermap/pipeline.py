@@ -35,6 +35,7 @@ from repro.fibermap.validate import (
     tenants_from_records,
 )
 from repro.geo.polyline import Polyline
+from repro.obs.tracer import get_tracer
 from repro.transport.network import EdgeKey, canonical_edge
 from repro.transport.rightofway import RowRegistry
 
@@ -127,13 +128,42 @@ class MapConstructionPipeline:
         return dict(self._maps)
 
     def run(self) -> Tuple[FiberMap, ConstructionReport]:
-        """Execute steps 1-4 and return the constructed map + report."""
-        self.step1_initial_map()
-        self.step2_check_initial_map()
-        self.step3_augment()
-        self.step4_validate_augmented()
-        self._report.accuracy = self._compute_accuracy()
+        """Execute steps 1-4 and return the constructed map + report.
+
+        Each step runs in a ``pipeline.stepN`` tracing span annotated
+        with the map size after the step (and the validation counters
+        the step contributed).
+        """
+        tracer = get_tracer()
+        with tracer.span("pipeline.step1", step=1):
+            self.step1_initial_map()
+            self._annotate_step(tracer)
+        with tracer.span("pipeline.step2", step=2):
+            self.step2_check_initial_map()
+            self._annotate_step(tracer)
+        with tracer.span("pipeline.step3", step=3):
+            self.step3_augment()
+            self._annotate_step(tracer)
+        with tracer.span("pipeline.step4", step=4):
+            self.step4_validate_augmented()
+            self._annotate_step(tracer)
+        with tracer.span("pipeline.accuracy"):
+            self._report.accuracy = self._compute_accuracy()
         return self._map, self._report
+
+    def _annotate_step(self, tracer) -> None:
+        """Record post-step map size and validation counters on the span."""
+        if not tracer.enabled:
+            return
+        stats = self._report.snapshots[-1].stats
+        tracer.annotate(
+            nodes=stats.num_nodes,
+            links=stats.num_links,
+            conduits=stats.num_conduits,
+            validated_conduits=self._report.validated_conduits,
+            evidence_backed_rows=self._report.evidence_backed_rows,
+            inferred_tenancies=self._report.inferred_tenancies,
+        )
 
     # ------------------------------------------------------------------
     # Step 1

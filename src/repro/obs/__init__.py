@@ -1,0 +1,29 @@
+"""Observability: stage tracing, metrics, and run manifests.
+
+:mod:`repro.obs.tracer` — nested wall-time spans with counters and a
+process-global (disabled-by-default) tracer; :mod:`repro.obs.manifest`
+— the JSON run-manifest schema written by ``--trace`` and rendered by
+``python -m repro trace summarize``; :mod:`repro.obs.serialize` —
+best-effort conversion of result objects to JSON-safe data.
+"""
+
+from repro.obs.manifest import SCHEMA_VERSION, RunManifest
+from repro.obs.serialize import to_jsonable
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "RunManifest",
+    "SCHEMA_VERSION",
+    "to_jsonable",
+]

@@ -1,0 +1,55 @@
+"""Best-effort conversion of analysis objects into JSON-serializable data.
+
+Experiment results are nested frozen dataclasses holding tuples, sets,
+dicts keyed by tuples, and numpy scalars; run-manifest attributes can be
+paths or cache objects.  ``to_jsonable`` maps all of them onto plain
+``dict``/``list``/scalar structures: dataclasses become field dicts,
+sets become sorted lists, non-string keys are stringified, numpy scalars
+unwrap via ``.item()``, and anything unrecognized falls back to
+``str(value)`` — the output is always ``json.dumps``-able.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+#: Recursion guard: beyond this depth values are stringified.  Deeper
+#: nesting than this in a result object means a cycle or a mistake.
+_MAX_DEPTH = 24
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    return str(key)
+
+
+def to_jsonable(value: Any, _depth: int = 0) -> Any:
+    """Map *value* onto JSON-serializable builtins (see module doc)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if _depth >= _MAX_DEPTH:
+        return str(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name), _depth + 1)
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            _key(k): to_jsonable(v, _depth + 1) for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v, _depth + 1) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (to_jsonable(v, _depth + 1) for v in value), key=repr
+        )
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        try:  # numpy scalar (0-d array interface)
+            return to_jsonable(item(), _depth + 1)
+        except (TypeError, ValueError):  # pragma: no cover - exotic array
+            pass
+    return str(value)

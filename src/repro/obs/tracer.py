@@ -1,0 +1,223 @@
+"""Stage tracing: nested wall-time spans with a process-global tracer.
+
+Every expensive stage in the toolkit — scenario artifact builds, the
+four §2 pipeline steps, campaign shards, the traceroute overlay, each
+experiment — opens a :meth:`Tracer.span` around its work.  A span
+records monotonic wall time, arbitrary attributes (cache hit/miss,
+worker counts, record counts), named counters, and child spans, so one
+run yields a replayable tree of where the time went.
+
+Tracing is **off by default** and free when off: the module-global
+tracer starts disabled, and a disabled tracer hands out one shared
+no-op context manager, so instrumented code pays a single attribute
+check per stage (never per trace or per record).  Enable it with
+
+    >>> from repro.obs import Tracer, set_tracer
+    >>> previous = set_tracer(Tracer())
+    ... # run analyses; spans accumulate on the new tracer
+    >>> set_tracer(previous)
+
+or, from the command line, ``python -m repro --trace manifest.json ...``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One traced stage: name, wall time, attributes, counters, children."""
+
+    __slots__ = (
+        "name", "attrs", "counters", "children", "started_s", "duration_s"
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: Dict[str, int] = {}
+        self.children: List[Span] = []
+        self.started_s = 0.0
+        self.duration_s = 0.0
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.obs.serialize import to_jsonable
+
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            payload["attrs"] = to_jsonable(self.attrs)
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s:.6f}s, "
+            f"{len(self.children)} child(ren))"
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that times one span and attaches it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._span = Span(name, attrs)
+
+    def __enter__(self) -> Span:
+        span = self._span
+        span.started_s = time.perf_counter() - self._tracer._t0
+        self._tracer._stack.append(span)
+        return span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        span = self._span
+        span.duration_s = (
+            time.perf_counter() - self._tracer._t0 - span.started_s
+        )
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._tracer._attach(span)
+        return False
+
+
+class Tracer:
+    """Collects a tree of timed spans for one run.
+
+    All mutating methods are no-ops when ``enabled`` is False, so
+    instrumented code never needs its own guard.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: Completed top-level spans, in completion order.
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing one stage; nests under any open span."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span."""
+        if self.enabled and self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a counter on the innermost open span."""
+        if self.enabled and self._stack:
+            self._stack[-1].count(name, n)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous (zero-duration) child span."""
+        if not self.enabled:
+            return
+        span = Span(name, attrs)
+        span.started_s = time.perf_counter() - self._t0
+        self._attach(span)
+
+    def record_span(
+        self, name: str, duration_s: float, **attrs: Any
+    ) -> Optional[Span]:
+        """Attach a span timed elsewhere (e.g. inside a worker process)."""
+        if not self.enabled:
+            return None
+        span = Span(name, attrs)
+        span.duration_s = float(duration_s)
+        self._attach(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+
+    def walk(self) -> Iterator[Span]:
+        """Every completed span, depth-first across the roots."""
+        for span in self.spans:
+            yield from span.walk()
+
+    def clear(self) -> None:
+        self.spans = []
+        self._stack = []
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.spans]
+
+
+#: The process-global tracer.  Disabled by default; ``set_tracer``
+#: installs a live one for the duration of a traced run.
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled unless explicitly enabled)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install *tracer* globally; returns the previous tracer.
+
+    Passing ``None`` restores the default disabled tracer.
+    """
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer if tracer is not None else Tracer(enabled=False)
+    return previous
+
+
+class tracing:
+    """``with tracing() as tracer:`` — scoped global tracing."""
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: Any) -> bool:
+        set_tracer(self._previous)
+        return False

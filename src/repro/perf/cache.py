@@ -93,21 +93,33 @@ class ArtifactCache:
 
         Unreadable or corrupt entries count as misses and are rebuilt.
         """
+        from repro.obs.tracer import get_tracer
+
         path = self._path_for(stage, params)
         try:
             value = pickle.loads(path.read_bytes())
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
+            get_tracer().event("cache.fetch", stage=stage, hit=False)
             return False, None
         self.hits += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "cache.fetch", stage=stage, hit=True,
+                bytes=path.stat().st_size,
+            )
         return True, value
 
     def store(self, stage: str, params: Dict[str, Any], value: Any) -> Path:
         """Atomically persist one artifact (write to temp, then rename)."""
+        from repro.obs.tracer import get_tracer
+
         path = self._path_for(stage, params)
         self.root.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        get_tracer().event("cache.store", stage=stage, bytes=len(payload))
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -170,6 +182,35 @@ class ArtifactCache:
 
 
 CacheLike = Union[None, bool, str, Path, ArtifactCache]
+
+
+def normalize_cache_setting(
+    cache: CacheLike,
+) -> Union[None, bool, str, ArtifactCache]:
+    """Canonicalize a cache setting without resolving the environment.
+
+    ``Path('/x')``, ``'/x'``, and (when ``/x`` is the default root)
+    ``True`` all select the same cache, but as distinct argument values
+    they would occupy separate ``us2015`` memoization slots.  This maps
+    every spelling onto one canonical, hashable form: ``None`` (defer to
+    the environment) and ``False`` (off) pass through, ``True`` becomes
+    the default root as a string, and paths become expanded strings.
+    """
+    if isinstance(cache, ArtifactCache) or cache is None or cache is False:
+        return cache
+    if cache is True:
+        return str(default_cache_root())
+    return str(Path(cache).expanduser())
+
+
+def describe_cache_setting(cache: CacheLike) -> Union[None, bool, str]:
+    """JSON-safe rendering of a cache setting (for run manifests)."""
+    if isinstance(cache, ArtifactCache):
+        return str(cache.root)
+    normalized = normalize_cache_setting(cache)
+    if isinstance(normalized, ArtifactCache):  # pragma: no cover
+        return str(normalized.root)
+    return normalized
 
 
 def resolve_cache(cache: CacheLike) -> Optional[ArtifactCache]:

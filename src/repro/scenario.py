@@ -10,10 +10,19 @@ derive deterministically from the scenario seed.
     >>> scenario = us2015()
     >>> scenario.constructed_map.stats()
     MapStats(...)
+
+Configuration lives in one frozen :class:`ScenarioConfig` value
+(``Scenario(config=...)`` / ``us2015(config=...)``); the individual
+``seed``/``campaign_traces``/``workers``/``cache`` keyword arguments
+remain supported as a legacy spelling of the same thing.  Every stage
+build runs inside a :mod:`repro.obs` tracing span, so a run under an
+enabled tracer yields a full manifest of where the time went and which
+stages the artifact cache served.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -22,7 +31,13 @@ from repro.fibermap.pipeline import ConstructionReport, MapConstructionPipeline
 from repro.fibermap.publish import ProviderMap, publish_provider_maps
 from repro.fibermap.records import RecordsCorpus, generate_records
 from repro.fibermap.synthesis import GroundTruth, synthesize_ground_truth
-from repro.perf.cache import CacheLike, resolve_cache
+from repro.obs.tracer import get_tracer
+from repro.perf.cache import (
+    CacheLike,
+    describe_cache_setting,
+    normalize_cache_setting,
+    resolve_cache,
+)
 from repro.risk.matrix import RiskMatrix
 from repro.traceroute.campaign import CampaignConfig, run_campaign
 from repro.traceroute.geolocate import GeolocationDatabase
@@ -31,27 +46,62 @@ from repro.traceroute.probe import ProbeEngine, TracerouteRecord
 from repro.traceroute.topology import InternetTopology
 from repro.transport.network import TransportationNetwork
 
-#: Default campaign size.  The paper used 4.9M traceroutes over three
+#: Default campaign size — the single documented default, shared by the
+#: library and the CLI.  The paper used 4.9M traceroutes over three
 #: months; 20k keeps the same top-conduit and top-ISP orderings at
-#: interactive runtimes (scale up via ``Scenario(campaign_traces=...)``).
+#: interactive runtimes (scale up via ``ScenarioConfig(campaign_traces=...)``).
 DEFAULT_CAMPAIGN_TRACES = 20000
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Immutable configuration of one scenario.
+
+    Consolidates the four knobs previously threaded as separate keyword
+    arguments.  *cache* is canonicalized on construction (see
+    :func:`repro.perf.cache.normalize_cache_setting`) so ``Path``,
+    ``str``, and ``True`` spellings of the same cache root compare (and
+    hash) equal — and therefore share one ``us2015`` memoization slot.
+    """
+
+    seed: int = 2015
+    campaign_traces: int = DEFAULT_CAMPAIGN_TRACES
+    workers: int = 1
+    cache: CacheLike = field(default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cache", normalize_cache_setting(self.cache)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (embedded in run manifests and BENCH records)."""
+        return {
+            "seed": self.seed,
+            "campaign_traces": self.campaign_traces,
+            "workers": self.workers,
+            "cache": describe_cache_setting(self.cache),
+        }
 
 
 class Scenario:
     """A fully wired reproduction scenario.
 
     Every property is computed on first access and cached; all
-    randomness is seeded from ``seed``, so two scenarios with the same
-    arguments are identical.
+    randomness is seeded from ``config.seed``, so two scenarios with the
+    same configuration are identical.
 
-    *workers* shards the traceroute campaign across processes
-    (0 auto-detects cores) without changing its records.  *cache*
-    selects the persistent artifact cache: ``None`` defers to the
-    ``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment (off by default),
-    ``True``/``False`` force it, a path selects a specific cache root.
-    Cached stages (ground truth, constructed map, campaign, overlay)
-    are keyed by seed, campaign size, and a hash of the package source,
-    so a warm cache can never serve stale artifacts.
+    Pass a :class:`ScenarioConfig` (preferred), or the legacy
+    ``seed``/``campaign_traces``/``workers``/``cache`` keywords — both
+    spellings produce the same scenario.  ``workers`` shards the
+    traceroute campaign across processes (0 auto-detects cores) without
+    changing its records.  ``cache`` selects the persistent artifact
+    cache: ``None`` defers to the ``REPRO_CACHE``/``REPRO_CACHE_DIR``
+    environment (off by default), ``True``/``False`` force it, a path
+    selects a specific cache root.  Cached stages (ground truth,
+    constructed map, campaign, overlay) are keyed by seed, campaign
+    size, and a hash of the package source, so a warm cache can never
+    serve stale artifacts.
     """
 
     def __init__(
@@ -60,11 +110,17 @@ class Scenario:
         campaign_traces: int = DEFAULT_CAMPAIGN_TRACES,
         workers: int = 1,
         cache: CacheLike = None,
+        config: Optional[ScenarioConfig] = None,
     ):
-        self.seed = seed
-        self.campaign_traces = campaign_traces
-        self.workers = workers
-        self.cache = resolve_cache(cache)
+        if config is None:
+            config = ScenarioConfig(
+                seed=seed,
+                campaign_traces=campaign_traces,
+                workers=workers,
+                cache=cache,
+            )
+        self.config = config
+        self.cache = resolve_cache(config.cache)
         self._ground_truth: Optional[GroundTruth] = None
         self._provider_maps: Optional[Dict[str, ProviderMap]] = None
         self._corpus: Optional[RecordsCorpus] = None
@@ -77,19 +133,47 @@ class Scenario:
         self._overlay: Optional[TrafficOverlay] = None
         self._matrix: Optional[RiskMatrix] = None
 
+    # -- legacy attribute views of the config --------------------------
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def campaign_traces(self) -> int:
+        return self.config.campaign_traces
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
     # ------------------------------------------------------------------
     def _cached(
         self, stage: str, params: Dict[str, Any], build: Callable[[], Any]
     ) -> Any:
-        """Memoize one stage through the artifact cache, if enabled."""
-        if self.cache is None:
-            return build()
-        hit, value = self.cache.fetch(stage, params)
-        if hit:
+        """Memoize one stage through the artifact cache, if enabled.
+
+        Under an enabled tracer each call is one ``scenario.<stage>``
+        span, annotated with cache hit/miss attribution.
+        """
+        tracer = get_tracer()
+        with tracer.span(f"scenario.{stage}"):
+            if self.cache is None:
+                value = build()
+                tracer.annotate(cache="off")
+                return value
+            hit, value = self.cache.fetch(stage, params)
+            if hit:
+                tracer.annotate(cache="hit")
+                return value
+            value = build()
+            self.cache.store(stage, params, value)
+            tracer.annotate(cache="miss")
             return value
-        value = build()
-        self.cache.store(stage, params, value)
-        return value
+
+    def _traced(self, stage: str, build: Callable[[], Any]) -> Any:
+        """Span wrapper for the cheap, never-persisted stages."""
+        with get_tracer().span(f"scenario.{stage}"):
+            return build()
 
     def cache_stats(self) -> Dict[str, Any]:
         """Hit/miss accounting for benchmarks and diagnostics."""
@@ -120,16 +204,20 @@ class Scenario:
     @property
     def provider_maps(self) -> Dict[str, ProviderMap]:
         if self._provider_maps is None:
-            self._provider_maps = publish_provider_maps(
-                self.ground_truth, seed=self.seed + 1
+            self._provider_maps = self._traced(
+                "provider_maps",
+                lambda: publish_provider_maps(
+                    self.ground_truth, seed=self.seed + 1
+                ),
             )
         return self._provider_maps
 
     @property
     def records(self) -> RecordsCorpus:
         if self._corpus is None:
-            self._corpus = generate_records(
-                self.ground_truth, seed=self.seed + 2
+            self._corpus = self._traced(
+                "records",
+                lambda: generate_records(self.ground_truth, seed=self.seed + 2),
             )
         return self._corpus
 
@@ -162,15 +250,19 @@ class Scenario:
     @property
     def topology(self) -> InternetTopology:
         if self._topology is None:
-            self._topology = InternetTopology(
-                self.ground_truth, seed=self.seed + 3
+            self._topology = self._traced(
+                "topology",
+                lambda: InternetTopology(self.ground_truth, seed=self.seed + 3),
             )
         return self._topology
 
     @property
     def probe_engine(self) -> ProbeEngine:
         if self._engine is None:
-            self._engine = ProbeEngine(self.topology, seed=self.seed + 4)
+            self._engine = self._traced(
+                "probe_engine",
+                lambda: ProbeEngine(self.topology, seed=self.seed + 4),
+            )
         return self._engine
 
     @property
@@ -195,8 +287,9 @@ class Scenario:
     @property
     def geolocation(self) -> GeolocationDatabase:
         if self._database is None:
-            self._database = GeolocationDatabase(
-                self.topology, seed=self.seed + 6
+            self._database = self._traced(
+                "geolocation",
+                lambda: GeolocationDatabase(self.topology, seed=self.seed + 6),
             )
         return self._database
 
@@ -223,9 +316,12 @@ class Scenario:
     def risk_matrix(self) -> RiskMatrix:
         """The §4.1 risk matrix over the 20 studied providers."""
         if self._matrix is None:
-            self._matrix = RiskMatrix(
-                self.constructed_map,
-                isps=[p.name for p in self.ground_truth.profiles],
+            self._matrix = self._traced(
+                "risk_matrix",
+                lambda: RiskMatrix(
+                    self.constructed_map,
+                    isps=[p.name for p in self.ground_truth.profiles],
+                ),
             )
         return self._matrix
 
@@ -235,14 +331,32 @@ class Scenario:
 
 
 @lru_cache(maxsize=4)
+def _us2015_for_config(config: ScenarioConfig) -> Scenario:
+    return Scenario(config=config)
+
+
 def us2015(
     seed: int = 2015,
     campaign_traces: int = DEFAULT_CAMPAIGN_TRACES,
     workers: int = 1,
     cache: CacheLike = None,
+    config: Optional[ScenarioConfig] = None,
 ) -> Scenario:
-    """The canonical scenario, cached so experiments share one instance."""
-    return Scenario(
-        seed=seed, campaign_traces=campaign_traces, workers=workers,
-        cache=cache,
-    )
+    """The canonical scenario, cached so experiments share one instance.
+
+    Memoization is keyed on the normalized :class:`ScenarioConfig`, so
+    equivalent spellings (legacy keywords vs an explicit config, ``Path``
+    vs ``str`` vs ``True`` cache settings) all share one instance.
+    """
+    if config is None:
+        config = ScenarioConfig(
+            seed=seed,
+            campaign_traces=campaign_traces,
+            workers=workers,
+            cache=cache,
+        )
+    return _us2015_for_config(config)
+
+
+#: Exposed for tests that need to drop the memoized scenarios.
+us2015.cache_clear = _us2015_for_config.cache_clear  # type: ignore[attr-defined]

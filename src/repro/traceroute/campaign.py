@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import os
 import random
+import time
 from bisect import bisect
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -26,6 +27,7 @@ from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.cities import city_by_name
+from repro.obs.tracer import get_tracer
 from repro.traceroute.probe import ProbeEngine, TracerouteRecord
 from repro.traceroute.topology import InternetTopology
 
@@ -193,13 +195,25 @@ def _init_worker(topology: InternetTopology, config: CampaignConfig) -> None:
     _WORKER_STATE = (engine, plan, config)
 
 
-def _run_chunk(bounds: Tuple[int, int]) -> List[TracerouteRecord]:
+def _run_chunk(
+    bounds: Tuple[int, int]
+) -> Tuple[List[TracerouteRecord], float]:
+    """One shard's records plus its wall time (for shard spans).
+
+    The timing is measured inside the worker process — two
+    ``perf_counter`` calls per shard, paid whether or not the parent's
+    tracer is enabled — and attributed to a ``campaign.shard`` span in
+    the parent, which is how per-shard observability crosses the
+    ``ProcessPoolExecutor`` boundary.
+    """
     start, stop = bounds
     engine, plan, config = _WORKER_STATE
-    return [
+    started = time.perf_counter()
+    records = [
         _trace_for_index(engine, plan, config, index)
         for index in range(start, stop)
     ]
+    return records, time.perf_counter() - started
 
 
 def run_campaign(
@@ -226,32 +240,58 @@ def run_campaign(
     )
     if n_workers > 1 and config.num_traces < 2 * _MIN_CHUNK:
         n_workers = 1  # not worth forking for a tiny campaign
+    tracer = get_tracer()
     if n_workers <= 1:
-        if engine is None:
-            engine = ProbeEngine(topology, seed=config.seed + 1)
-        engine.prepare_destinations(plan.dest_nodes)
-        return [
-            _trace_for_index(engine, plan, config, index)
-            for index in range(config.num_traces)
+        with tracer.span(
+            "campaign.run", traces=config.num_traces, workers=1,
+            mode="serial",
+        ):
+            if engine is None:
+                engine = ProbeEngine(topology, seed=config.seed + 1)
+            engine.prepare_destinations(plan.dest_nodes)
+            records = [
+                _trace_for_index(engine, plan, config, index)
+                for index in range(config.num_traces)
+            ]
+            tracer.count("records", len(records))
+            return records
+    with tracer.span(
+        "campaign.run", traces=config.num_traces, workers=n_workers,
+        mode="pool",
+    ):
+        # Warm the shared routing core before forking so every worker
+        # inherits the batched predecessor arrays instead of recomputing.
+        core_factory = getattr(topology, "routing_core", None)
+        if core_factory is not None:
+            core = core_factory()
+            if core is not None:
+                core.prepare(plan.dest_nodes)
+        chunk = max(_MIN_CHUNK, -(-config.num_traces // (n_workers * 4)))
+        bounds = [
+            (start, min(start + chunk, config.num_traces))
+            for start in range(0, config.num_traces, chunk)
         ]
-    # Warm the shared routing core before forking so every worker
-    # inherits the batched predecessor arrays instead of recomputing.
-    core_factory = getattr(topology, "routing_core", None)
-    if core_factory is not None:
-        core = core_factory()
-        if core is not None:
-            core.prepare(plan.dest_nodes)
-    chunk = max(_MIN_CHUNK, -(-config.num_traces // (n_workers * 4)))
-    bounds = [
-        (start, min(start + chunk, config.num_traces))
-        for start in range(0, config.num_traces, chunk)
-    ]
-    records: List[TracerouteRecord] = []
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(topology, config),
-    ) as pool:
-        for part in pool.map(_run_chunk, bounds):
-            records.extend(part)
-    return records
+        records = []
+        shard_times: List[float] = []
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(topology, config),
+        ) as pool:
+            for (start, stop), (part, elapsed) in zip(
+                bounds, pool.map(_run_chunk, bounds)
+            ):
+                records.extend(part)
+                shard_times.append(elapsed)
+                tracer.record_span(
+                    "campaign.shard", elapsed,
+                    start=start, stop=stop, records=len(part),
+                )
+        if tracer.enabled and shard_times:
+            tracer.annotate(
+                shards=len(shard_times),
+                shard_s_max=max(shard_times),
+                shard_s_mean=sum(shard_times) / len(shard_times),
+            )
+        tracer.count("records", len(records))
+        return records

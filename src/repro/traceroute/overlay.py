@@ -17,6 +17,7 @@ import networkx as nx
 
 from repro.data.cities import city_by_name
 from repro.fibermap.elements import FiberMap
+from repro.obs.tracer import get_tracer
 from repro.perf.routing import RoutingCore, build_routing_core
 from repro.traceroute.geolocate import GeolocationDatabase, resolve_hop_city
 from repro.traceroute.probe import TracerouteRecord
@@ -163,8 +164,19 @@ class TrafficOverlay:
             previous_city, previous_isp = city, isp
 
     def add_traces(self, records: Iterable[TracerouteRecord]) -> None:
-        for record in records:
-            self.add_trace(record)
+        """Overlay a batch of traceroutes (one ``overlay.add_traces`` span)."""
+        tracer = get_tracer()
+        before_processed = self._traces_processed
+        before_unresolved = self._hops_unresolved
+        with tracer.span("overlay.add_traces"):
+            for record in records:
+                self.add_trace(record)
+            tracer.annotate(
+                traces_added=self._traces_processed - before_processed,
+                hops_unresolved=self._hops_unresolved - before_unresolved,
+                path_cache_entries=len(self._path_cache),
+                conduits_with_traffic=len(self._traffic),
+            )
 
     def _count(self, conduit_id: str, direction: str, isp: Optional[str]) -> None:
         traffic = self._traffic.get(conduit_id)

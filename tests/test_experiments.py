@@ -1,8 +1,10 @@
 """Integration tests: every experiment runs and matches the paper's shape."""
 
+import json
+
 import pytest
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, ExperimentResult, run_all, run_experiment
 from repro.experiments import fig4, fig6, fig7, fig10, fig11, fig12, table1, table4
 
 PAPER_IDS = (
@@ -36,6 +38,38 @@ class TestRegistry:
     def test_unknown_experiment(self, scenario):
         with pytest.raises(KeyError):
             run_experiment("fig99", scenario)
+
+
+class TestExperimentResult:
+    def test_typed_result(self, scenario):
+        result = run_experiment("table1", scenario)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "table1"
+        assert result.title == EXPERIMENTS["table1"].title
+        assert result.extension is False
+        assert result.data.total_links == 1258
+        assert "EarthLink" in result.text
+
+    def test_legacy_tuple_unpack_still_works(self, scenario):
+        data, text = run_experiment("table1", scenario)
+        assert data.total_links == 1258
+        assert isinstance(text, str)
+
+    def test_to_json_round_trips(self, scenario):
+        payload = run_experiment("table1", scenario).to_json()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["experiment_id"] == "table1"
+        assert encoded["data"]["total_links"] == 1258
+
+    def test_run_all_streams_in_id_order(self, scenario):
+        stream = run_all(scenario, ids=["fig4", "table1"])
+        first = next(stream)
+        # A generator: results arrive one at a time, sorted by id.
+        assert isinstance(first, ExperimentResult)
+        assert first.experiment_id == "fig4"
+        assert next(stream).experiment_id == "table1"
+        with pytest.raises(StopIteration):
+            next(stream)
 
 
 @pytest.mark.parametrize("experiment_id", [

@@ -5,9 +5,10 @@ import json
 import pytest
 
 from repro.analysis.render import AsciiMap, render_fiber_map, render_transport
-from repro.cli import main
+from repro.cli import _build_parser, main
 from repro.geo.coords import GeoPoint
 from repro.geo.polyline import Polyline
+from repro.scenario import DEFAULT_CAMPAIGN_TRACES
 
 
 class TestAsciiMap:
@@ -170,3 +171,87 @@ class TestCliMoreCommands:
         assert main(["--traces", "100", "exchange", "--conduits", "2"]) == 0
         out = capsys.readouterr().out
         assert "conduit exchange plan" in out
+
+
+class TestCliDefaults:
+    def test_traces_default_matches_library_default(self):
+        # Regression: the CLI used to default --traces to 5000 while the
+        # library documented DEFAULT_CAMPAIGN_TRACES=20000.
+        args = _build_parser().parse_args(["experiments"])
+        assert args.traces == DEFAULT_CAMPAIGN_TRACES == 20000
+
+
+class TestCliJson:
+    def test_run_json(self, capsys):
+        assert main(["--traces", "100", "--json", "run", "table1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        result = payload[0]
+        assert result["experiment_id"] == "table1"
+        assert result["extension"] is False
+        assert result["data"]["total_links"] == 1258
+        assert "EarthLink" in result["text"]
+
+    def test_audit_json(self, capsys):
+        assert main(["--traces", "100", "--json", "audit", "Sprint"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["isp"] == "Sprint"
+        assert 1 <= payload["rank"] <= payload["ranked_isps"]
+        assert payload["num_conduits"] > 0
+        assert payload["robustness"]["reroutes"] >= 0
+
+    def test_cut_json(self, capsys):
+        assert main([
+            "--traces", "100", "--json", "cut",
+            "Provo, UT", "Salt Lake City, UT",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["event"]["conduits_severed"] >= 1
+        assert payload["impact"]["isps_affected"] >= 1
+        assert 0.0 <= payload["traffic_shift"]["affected_fraction"] <= 1.0
+
+    def test_cache_info_json(self, capsys, tmp_path):
+        assert main(
+            ["--cache-dir", str(tmp_path), "--json", "cache", "info"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(tmp_path)
+        assert payload["artifacts"] == 0
+        assert payload["stages"] == {}
+
+
+class TestCliTrace:
+    def test_trace_writes_and_summarizes_manifest(self, capsys, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        assert main([
+            "--seed", "2016", "--traces", "60", "--trace", path,
+            "run", "table1",
+        ]) == 0
+        capsys.readouterr()
+        manifest = json.loads(open(path).read())
+        assert manifest["schema"] == 1
+        assert manifest["config"]["seed"] == 2016
+        assert manifest["config"]["campaign_traces"] == 60
+        names = set()
+
+        def collect(spans):
+            for span in spans:
+                names.add(span["name"])
+                collect(span.get("children", []))
+
+        collect(manifest["spans"])
+        assert "experiment.table1" in names
+        assert "pipeline.step1" in names
+        assert "scenario.ground_truth" in names
+        assert "scenario.constructed_map/pipeline.step1" in manifest["timings"] or any(
+            key.endswith("pipeline.step1") for key in manifest["timings"]
+        )
+        assert main(["trace", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "experiment.table1" in out
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        assert main(
+            ["trace", "summarize", str(tmp_path / "nope.json")]
+        ) == 2

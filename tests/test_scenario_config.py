@@ -1,0 +1,112 @@
+"""Tests for the consolidated ScenarioConfig API and cache normalization."""
+
+from pathlib import Path
+
+from repro.perf.cache import (
+    ArtifactCache,
+    default_cache_root,
+    describe_cache_setting,
+    normalize_cache_setting,
+)
+from repro.scenario import (
+    DEFAULT_CAMPAIGN_TRACES,
+    Scenario,
+    ScenarioConfig,
+    us2015,
+)
+
+
+class TestNormalizeCacheSetting:
+    def test_passthrough_values(self):
+        assert normalize_cache_setting(None) is None
+        assert normalize_cache_setting(False) is False
+        cache = ArtifactCache()
+        assert normalize_cache_setting(cache) is cache
+
+    def test_true_becomes_default_root(self):
+        assert normalize_cache_setting(True) == str(default_cache_root())
+
+    def test_path_and_str_agree(self, tmp_path):
+        assert normalize_cache_setting(tmp_path) == normalize_cache_setting(
+            str(tmp_path)
+        )
+
+    def test_describe_is_json_safe(self, tmp_path):
+        assert describe_cache_setting(None) is None
+        assert describe_cache_setting(False) is False
+        assert describe_cache_setting(tmp_path) == str(tmp_path)
+        assert describe_cache_setting(ArtifactCache(tmp_path)) == str(tmp_path)
+
+
+class TestScenarioConfig:
+    def test_defaults_match_documented_values(self):
+        config = ScenarioConfig()
+        assert config.seed == 2015
+        assert config.campaign_traces == DEFAULT_CAMPAIGN_TRACES
+        assert config.workers == 1
+        assert config.cache is None
+
+    def test_cache_spellings_compare_equal(self, tmp_path):
+        assert ScenarioConfig(cache=tmp_path) == ScenarioConfig(
+            cache=str(tmp_path)
+        )
+        assert hash(ScenarioConfig(cache=tmp_path)) == hash(
+            ScenarioConfig(cache=str(tmp_path))
+        )
+
+    def test_to_dict(self, tmp_path):
+        config = ScenarioConfig(
+            seed=7, campaign_traces=123, workers=2, cache=tmp_path
+        )
+        assert config.to_dict() == {
+            "seed": 7,
+            "campaign_traces": 123,
+            "workers": 2,
+            "cache": str(tmp_path),
+        }
+
+
+class TestScenarioConstruction:
+    def test_legacy_kwargs_build_equivalent_config(self):
+        scenario = Scenario(seed=5, campaign_traces=7, workers=2)
+        assert scenario.config == ScenarioConfig(
+            seed=5, campaign_traces=7, workers=2
+        )
+        assert (scenario.seed, scenario.campaign_traces, scenario.workers) == (
+            5, 7, 2,
+        )
+
+    def test_explicit_config_wins(self):
+        scenario = Scenario(seed=1, config=ScenarioConfig(seed=9))
+        assert scenario.seed == 9
+
+    def test_cache_false_disables(self):
+        assert Scenario(
+            config=ScenarioConfig(seed=1, cache=False)
+        ).cache is None
+
+    def test_cache_path_resolves(self, tmp_path):
+        scenario = Scenario(config=ScenarioConfig(seed=1, cache=tmp_path))
+        assert scenario.cache is not None
+        assert scenario.cache.root == Path(tmp_path)
+
+
+class TestUs2015Memoization:
+    def test_config_and_legacy_kwargs_share_one_instance(self):
+        config = ScenarioConfig(seed=2015, campaign_traces=50)
+        assert us2015(config=config) is us2015(seed=2015, campaign_traces=50)
+
+    def test_cache_spellings_share_one_instance(self, tmp_path):
+        a = us2015(seed=3, campaign_traces=10, cache=tmp_path)
+        b = us2015(seed=3, campaign_traces=10, cache=str(tmp_path))
+        assert a is b
+
+    def test_distinct_configs_distinct_instances(self):
+        assert us2015(seed=4, campaign_traces=10) is not us2015(
+            seed=4, campaign_traces=11
+        )
+
+    def test_cache_clear_exposed(self):
+        scenario = us2015(seed=6, campaign_traces=10)
+        us2015.cache_clear()
+        assert us2015(seed=6, campaign_traces=10) is not scenario
