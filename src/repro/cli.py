@@ -9,7 +9,9 @@ Commands
 ``layers``                 render the road and rail layers (ASCII)
 ``audit <ISP>``            shared-risk audit for one provider
 ``cut <cityA> <cityB>``    assess a right-of-way cut between two cities
-``cache {info,clear}``     inspect or empty the persistent artifact cache
+``cache {info,clear,prune}``  inspect, empty, or size-bound the
+                           persistent artifact cache (``prune --max-mb``
+                           evicts LRU entries and sweeps orphans)
 ``trace summarize PATH``   render a run manifest written by ``--trace``
 
 Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size
@@ -17,7 +19,8 @@ Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size
 campaign worker processes (0 = one per core), ``--cache-dir PATH`` /
 ``--no-cache`` to control the artifact cache, ``--trace PATH`` to record a
 JSON run manifest of every traced stage, and ``--json`` for
-machine-readable output (``run``, ``audit``, ``cut``, ``cache info``).
+machine-readable output (``run``, ``audit``, ``cut``, ``cache info``,
+``cache prune``).
 """
 
 from __future__ import annotations
@@ -111,9 +114,16 @@ def _build_parser() -> argparse.ArgumentParser:
     exchange.add_argument("--conduits", type=int, default=5)
 
     cache = sub.add_parser(
-        "cache", help="inspect or empty the persistent artifact cache"
+        "cache",
+        help="inspect, empty, or size-bound the persistent artifact cache",
     )
-    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("action", choices=("info", "clear", "prune"))
+    cache.add_argument(
+        "--max-mb", type=float, default=None, metavar="MB",
+        help="prune: evict least-recently-used artifacts until the "
+             "cache fits this many megabytes (omit to only sweep "
+             "orphaned temp files and quarantined entries)",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect run manifests written by --trace"
@@ -416,7 +426,12 @@ def _cmd_exchange(scenario: Scenario, num_conduits: int) -> int:
     return 0
 
 
-def _cmd_cache(action: str, cache_dir: Optional[str], as_json: bool) -> int:
+def _cmd_cache(
+    action: str,
+    cache_dir: Optional[str],
+    as_json: bool,
+    max_mb: Optional[float] = None,
+) -> int:
     from repro.perf.cache import ArtifactCache
 
     cache = ArtifactCache(cache_dir) if cache_dir else ArtifactCache()
@@ -430,14 +445,39 @@ def _cmd_cache(action: str, cache_dir: Optional[str], as_json: bool) -> int:
                 )
                 bucket["artifacts"] += 1
                 bucket["size_bytes"] += entry.size_bytes
+            orphans = cache.orphan_tmp_files()
+            quarantined = cache.quarantined_files()
             _print_json({
                 "root": str(cache.root),
                 "artifacts": len(entries),
                 "size_bytes": sum(e.size_bytes for e in entries),
                 "stages": by_stage,
+                "orphaned_tmp_files": len(orphans),
+                "quarantined_entries": len(quarantined),
             })
             return 0
         print(cache.info_text())
+        return 0
+    if action == "prune":
+        max_bytes = None if max_mb is None else int(max_mb * 1e6)
+        result = cache.prune(max_bytes=max_bytes)
+        if as_json:
+            _print_json({
+                "root": str(cache.root),
+                "evicted": result.evicted,
+                "orphans_swept": result.orphans_swept,
+                "quarantine_removed": result.quarantine_removed,
+                "bytes_freed": result.bytes_freed,
+                "bytes_remaining": result.bytes_remaining,
+            })
+            return 0
+        print(
+            f"pruned {cache.root}: evicted {result.evicted} artifact(s), "
+            f"swept {result.orphans_swept} orphan(s), removed "
+            f"{result.quarantine_removed} quarantined file(s), freed "
+            f"{result.bytes_freed / 1e6:.2f} MB "
+            f"({result.bytes_remaining / 1e6:.2f} MB remain)"
+        )
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached artifact(s) from {cache.root}")
@@ -472,7 +512,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "cache":
-        return _cmd_cache(args.action, args.cache_dir, args.json)
+        return _cmd_cache(
+            args.action, args.cache_dir, args.json, args.max_mb
+        )
     if args.command == "trace":
         return _cmd_trace(args.action, args.path)
 

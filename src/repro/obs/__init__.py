@@ -1,12 +1,22 @@
-"""Observability: stage tracing, metrics, and run manifests.
+"""Observability: stage tracing, metrics, run manifests, and faults.
 
 :mod:`repro.obs.tracer` — nested wall-time spans with counters and a
 process-global (disabled-by-default) tracer; :mod:`repro.obs.manifest`
 — the JSON run-manifest schema written by ``--trace`` and rendered by
 ``python -m repro trace summarize``; :mod:`repro.obs.serialize` —
-best-effort conversion of result objects to JSON-safe data.
+best-effort conversion of result objects to JSON-safe data;
+:mod:`repro.obs.faults` — the deterministic fault-injection harness
+that chaos-tests the campaign engine and artifact cache.
 """
 
+from repro.obs.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedWriteError,
+    fault_injection,
+    get_fault_injector,
+    set_fault_injector,
+)
 from repro.obs.manifest import SCHEMA_VERSION, RunManifest
 from repro.obs.serialize import to_jsonable
 from repro.obs.tracer import (
@@ -26,4 +36,10 @@ __all__ = [
     "RunManifest",
     "SCHEMA_VERSION",
     "to_jsonable",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedWriteError",
+    "fault_injection",
+    "get_fault_injector",
+    "set_fault_injector",
 ]

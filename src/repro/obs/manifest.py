@@ -25,6 +25,8 @@ Schema (version 1)::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -140,13 +142,29 @@ class RunManifest:
         }
 
     def write(self, path: Union[str, Path]) -> Path:
+        """Atomically write the manifest (temp file, then ``os.replace``).
+
+        A crash mid-write must not leave a truncated manifest that
+        ``trace summarize`` then chokes on — the same guarantee
+        ``ArtifactCache.store`` makes for cache entries.
+        """
         path = Path(path)
         if path.parent != Path(""):
             path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
-            encoding="utf-8",
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent) or ".", suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     # ------------------------------------------------------------------

@@ -13,20 +13,47 @@ artifact automatically; stale entries are never served.
 
 Layout: one ``<stage>-<digest>.pkl`` per artifact directly under the
 cache root (default ``~/.cache/repro``, overridable via
-``REPRO_CACHE_DIR``).  ``python -m repro cache {info,clear}`` inspects
-and empties it.
+``REPRO_CACHE_DIR``).  ``python -m repro cache {info,clear,prune}``
+inspects, empties, and size-bounds it.
+
+The store is hardened against the failure modes a shared on-disk cache
+actually sees:
+
+* **Concurrent writers** — writes go to a temp file and ``os.replace``
+  into place under a cross-process ``flock`` on ``<root>/.lock``, so
+  two processes storing into one root can never interleave an entry.
+* **Corrupt entries** — a ``fetch`` that finds bytes it cannot load
+  moves the file into ``<root>/quarantine/`` (a ``cache.quarantine``
+  tracer event), so the next run rebuilds instead of re-failing on the
+  same poisoned entry forever.
+* **Orphaned temp files** — ``*.tmp`` files left by an interrupted
+  ``store`` are reported by ``info``, removed by ``clear``, and swept
+  by ``sweep_orphans`` / ``prune`` once they are old enough to be
+  provably dead.
+* **Unbounded growth** — ``prune(max_bytes)`` evicts least-recently
+  used entries (fetch hits refresh an entry's mtime) until the root
+  fits the budget.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+try:
+    import fcntl
+
+    HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    HAVE_FCNTL = False
 
 #: Truthy/falsy spellings accepted in ``REPRO_CACHE``.
 _TRUE = ("1", "true", "yes", "on")
@@ -71,6 +98,25 @@ class CacheEntry:
     size_bytes: int
 
 
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one maintenance pass (``prune`` / ``cache prune``)."""
+
+    evicted: int
+    orphans_swept: int
+    quarantine_removed: int
+    bytes_freed: int
+    bytes_remaining: int
+
+
+#: Age beyond which a ``*.tmp`` file cannot belong to an in-flight
+#: ``store`` and is safe to sweep.
+ORPHAN_TMP_AGE_S = 3600.0
+
+#: Subdirectory corrupt entries are moved into on a failed ``fetch``.
+QUARANTINE_DIR = "quarantine"
+
+
 class ArtifactCache:
     """Pickle store for scenario stages, with hit/miss accounting."""
 
@@ -78,6 +124,7 @@ class ArtifactCache:
         self.root = Path(root).expanduser() if root else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.quarantined_count = 0
 
     # ------------------------------------------------------------------
     def _path_for(self, stage: str, params: Dict[str, Any]) -> Path:
@@ -88,22 +135,71 @@ class ArtifactCache:
         digest = hashlib.sha256(key.encode()).hexdigest()[:20]
         return self.root / f"{stage}-{digest}.pkl"
 
+    @contextlib.contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Cross-process exclusive lock on this cache root.
+
+        Serializes writers (store, clear, prune) through ``flock`` on
+        ``<root>/.lock``.  Readers stay lock-free: ``os.replace`` keeps
+        every entry either absent or complete.  On platforms without
+        ``fcntl`` the lock degrades to a no-op and atomic renames remain
+        the only (still safe for single-writer) guarantee.
+        """
+        if not HAVE_FCNTL:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _quarantine(self, path: Path, stage: str) -> None:
+        """Move a corrupt entry out of the lookup path, never to be
+        re-read; deleted outright if the move itself fails."""
+        from repro.obs.tracer import get_tracer
+
+        target = self.root / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        self.quarantined_count += 1
+        get_tracer().event("cache.quarantine", stage=stage, file=path.name)
+
     def fetch(self, stage: str, params: Dict[str, Any]) -> Tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` otherwise.
 
-        Unreadable or corrupt entries count as misses and are rebuilt.
+        Unreadable or corrupt entries count as misses, are quarantined
+        on first failure (so no later run re-reads the same poisoned
+        bytes), and get rebuilt.  A hit refreshes the entry's mtime,
+        which is the recency signal ``prune`` evicts by.
         """
         from repro.obs.tracer import get_tracer
 
         path = self._path_for(stage, params)
         try:
             value = pickle.loads(path.read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except FileNotFoundError:
             self.misses += 1
             get_tracer().event("cache.fetch", stage=stage, hit=False)
             return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self._quarantine(path, stage)
+            self.misses += 1
+            get_tracer().event(
+                "cache.fetch", stage=stage, hit=False, quarantined=True
+            )
+            return False, None
         self.hits += 1
+        with contextlib.suppress(OSError):
+            os.utime(path)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -113,24 +209,35 @@ class ArtifactCache:
         return True, value
 
     def store(self, stage: str, params: Dict[str, Any], value: Any) -> Path:
-        """Atomically persist one artifact (write to temp, then rename)."""
+        """Atomically persist one artifact (write to temp, then rename).
+
+        Concurrent writers on one root are serialized by the cache
+        lock; an active fault injector may corrupt the payload or fail
+        the write here — both recovered elsewhere (quarantine on fetch,
+        degraded-store in the scenario layer).
+        """
+        from repro.obs.faults import get_fault_injector
         from repro.obs.tracer import get_tracer
 
+        injector = get_fault_injector()
+        if injector is not None:
+            injector.maybe_fail_write(stage)
         path = self._path_for(stage, params)
         self.root.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if injector is not None:
+            payload = injector.corrupt_payload(stage, payload)
         get_tracer().event("cache.store", stage=stage, bytes=len(payload))
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with self._lock():
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
         return path
 
     # ------------------------------------------------------------------
@@ -147,10 +254,56 @@ class ArtifactCache:
             )
         return found
 
+    def orphan_tmp_files(self) -> List[Path]:
+        """``*.tmp`` files left behind by interrupted ``store`` calls."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.tmp"))
+
+    def quarantined_files(self) -> List[Path]:
+        """Corrupt entries parked by failed ``fetch`` calls."""
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(p for p in quarantine.iterdir() if p.is_file())
+
+    def sweep_orphans(self, max_age_s: float = ORPHAN_TMP_AGE_S) -> int:
+        """Delete orphaned ``*.tmp`` files older than *max_age_s*.
+
+        The age guard keeps a concurrent writer's in-flight temp file
+        safe; ``clear`` (which empties everything anyway) sweeps
+        unconditionally.
+        """
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for path in self.orphan_tmp_files():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def total_bytes(self) -> int:
+        """Bytes held by entries, orphans, and quarantined files."""
+        paths = (
+            [e.path for e in self.entries()]
+            + self.orphan_tmp_files()
+            + self.quarantined_files()
+        )
+        total = 0
+        for path in paths:
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
     def info_text(self) -> str:
         entries = self.entries()
+        orphans = self.orphan_tmp_files()
+        quarantined = self.quarantined_files()
         lines = [f"cache root: {self.root}"]
-        if not entries:
+        if not entries and not orphans and not quarantined:
             lines.append("empty")
             return "\n".join(lines)
         total = sum(e.size_bytes for e in entries)
@@ -167,18 +320,100 @@ class ArtifactCache:
         lines.append(
             f"total: {len(entries)} artifact(s), {total / 1e6:.2f} MB"
         )
+        if orphans:
+            size = sum(p.stat().st_size for p in orphans)
+            lines.append(
+                f"orphaned temp files: {len(orphans)} "
+                f"({size / 1e6:.2f} MB) — run `cache clear` or "
+                f"`cache prune` to sweep"
+            )
+        if quarantined:
+            size = sum(p.stat().st_size for p in quarantined)
+            lines.append(
+                f"quarantined corrupt entries: {len(quarantined)} "
+                f"({size / 1e6:.2f} MB)"
+            )
         return "\n".join(lines)
 
     def clear(self) -> int:
-        """Delete every stored artifact; returns how many were removed."""
+        """Delete every stored artifact, orphaned temp file, and
+        quarantined entry; returns how many files were removed."""
         removed = 0
-        for entry in self.entries():
-            try:
-                entry.path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        with self._lock():
+            targets = (
+                [e.path for e in self.entries()]
+                + self.orphan_tmp_files()
+                + self.quarantined_files()
+            )
+            for path in targets:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        orphan_age_s: float = ORPHAN_TMP_AGE_S,
+    ) -> PruneResult:
+        """Bound the cache: sweep dead files, then evict LRU entries.
+
+        Quarantined entries (already useless) and stale orphans go
+        first; live entries are then evicted oldest-mtime-first until
+        the root fits *max_bytes* (``None`` bounds nothing and only
+        sweeps).  Returns a :class:`PruneResult` accounting.
+        """
+        from repro.obs.tracer import get_tracer
+
+        with self._lock():
+            freed = 0
+            quarantine_removed = 0
+            for path in self.quarantined_files():
+                with contextlib.suppress(OSError):
+                    size = path.stat().st_size
+                    path.unlink()
+                    quarantine_removed += 1
+                    freed += size
+            orphans_swept = 0
+            cutoff = time.time() - orphan_age_s
+            for path in self.orphan_tmp_files():
+                try:
+                    stat = path.stat()
+                    if stat.st_mtime <= cutoff:
+                        path.unlink()
+                        orphans_swept += 1
+                        freed += stat.st_size
+                except OSError:
+                    continue
+            evicted = 0
+            entries = self.entries()
+            remaining = sum(e.size_bytes for e in entries)
+            if max_bytes is not None and remaining > max_bytes:
+                by_age = sorted(
+                    entries, key=lambda e: e.path.stat().st_mtime
+                )
+                for entry in by_age:
+                    if remaining <= max_bytes:
+                        break
+                    with contextlib.suppress(OSError):
+                        entry.path.unlink()
+                        evicted += 1
+                        freed += entry.size_bytes
+                        remaining -= entry.size_bytes
+        result = PruneResult(
+            evicted=evicted,
+            orphans_swept=orphans_swept,
+            quarantine_removed=quarantine_removed,
+            bytes_freed=freed,
+            bytes_remaining=remaining,
+        )
+        get_tracer().event(
+            "cache.prune", evicted=evicted, orphans=orphans_swept,
+            quarantine=quarantine_removed, freed=freed,
+        )
+        return result
 
 
 CacheLike = Union[None, bool, str, Path, ArtifactCache]

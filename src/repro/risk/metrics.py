@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.risk.matrix import RiskMatrix
 
 
-def conduits_shared_by_at_least(matrix: RiskMatrix, max_k: int = None) -> List[Tuple[int, int]]:
+def conduits_shared_by_at_least(
+    matrix: RiskMatrix, max_k: Optional[int] = None
+) -> List[Tuple[int, int]]:
     """Figure 6 series: ``(k, number of conduits shared by >= k ISPs)``.
 
     ``k`` runs from 1 to the number of ISPs (or *max_k*).
@@ -36,9 +38,15 @@ def sharing_fractions(matrix: RiskMatrix, ks: Tuple[int, ...] = (2, 3, 4)) -> Di
 
 
 def sharing_cdf(matrix: RiskMatrix) -> List[Tuple[int, float]]:
-    """CDF of the number of ISPs sharing a conduit (Figure 9, solid line)."""
+    """CDF of the number of ISPs sharing a conduit (Figure 9, solid line).
+
+    A conduit-free map yields the vacuous single-point CDF ``[(0, 1.0)]``
+    rather than crashing on ``counts.max()`` of an empty array.
+    """
     counts = np.sort(matrix.sharing_counts())
-    total = max(1, counts.size)
+    if counts.size == 0:
+        return [(0, 1.0)]
+    total = counts.size
     return [
         (int(k), float((counts <= k).sum()) / total)
         for k in range(0, int(counts.max()) + 1)

@@ -153,7 +153,10 @@ class Scenario:
         """Memoize one stage through the artifact cache, if enabled.
 
         Under an enabled tracer each call is one ``scenario.<stage>``
-        span, annotated with cache hit/miss attribution.
+        span, annotated with cache hit/miss attribution.  A cache
+        *write* failure (disk full, permissions, injected fault) never
+        fails the run: the freshly built value is returned anyway and
+        the stage is marked degraded in the trace.
         """
         tracer = get_tracer()
         with tracer.span(f"scenario.{stage}"):
@@ -166,8 +169,16 @@ class Scenario:
                 tracer.annotate(cache="hit")
                 return value
             value = build()
-            self.cache.store(stage, params, value)
-            tracer.annotate(cache="miss")
+            try:
+                self.cache.store(stage, params, value)
+            except OSError as error:
+                tracer.event(
+                    "cache.degraded", stage=stage,
+                    error=type(error).__name__,
+                )
+                tracer.annotate(cache="miss", store="failed")
+            else:
+                tracer.annotate(cache="miss")
             return value
 
     def _traced(self, stage: str, build: Callable[[], Any]) -> Any:

@@ -12,6 +12,17 @@ Every trace index owns a private RNG stream derived from
 over trace indices: the serial loop and the sharded
 ``ProcessPoolExecutor`` path produce byte-identical records, and any
 subrange can be regenerated without replaying the whole campaign.
+
+That same property makes the pool path *fault-tolerant for free*: when
+a worker process dies (OOM kill, segfault, injected crash) the broken
+pool is torn down, re-spawned after a bounded exponential backoff, and
+only the incomplete shards are requeued — replaying a shard cannot
+change its records.  After ``max_pool_restarts`` consecutive restarts
+with no progress the remaining shards degrade to an in-process serial
+run, so a campaign always completes with the exact record stream a
+fault-free run would have produced.  Recovery is observable: each
+restart emits a ``campaign.retry`` tracer event and the serial
+fallback emits ``campaign.degraded``, both visible in run manifests.
 """
 
 from __future__ import annotations
@@ -21,12 +32,14 @@ import os
 import random
 import time
 from bisect import bisect
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import accumulate
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.cities import city_by_name
+from repro.obs.faults import FaultInjector, get_fault_injector, set_fault_injector
 from repro.obs.tracer import get_tracer
 from repro.traceroute.probe import ProbeEngine, TracerouteRecord
 from repro.traceroute.topology import InternetTopology
@@ -69,6 +82,9 @@ MAX_ATTEMPTS_PER_TRACE = 128
 #: overhead negligible next to the tracing work.
 _MIN_CHUNK = 250
 
+#: Ceiling on the exponential backoff between pool restarts.
+_RETRY_BACKOFF_CAP_S = 2.0
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -86,6 +102,12 @@ class CampaignConfig:
     #: Worker processes: 1 runs in-process, 0 auto-detects CPU cores.
     #: The record stream is identical for every worker count.
     workers: int = 1
+    #: Consecutive no-progress pool restarts tolerated before the
+    #: remaining shards degrade to an in-process serial run.
+    max_pool_restarts: int = 3
+    #: First retry delay; doubles per consecutive restart, capped at
+    #: :data:`_RETRY_BACKOFF_CAP_S`.
+    retry_backoff_s: float = 0.05
 
 
 def _city_table(
@@ -187,8 +209,16 @@ _WORKER_STATE: Optional[
 ] = None
 
 
-def _init_worker(topology: InternetTopology, config: CampaignConfig) -> None:
+def _init_worker(
+    topology: InternetTopology,
+    config: CampaignConfig,
+    fault_injector: Optional[FaultInjector] = None,
+) -> None:
     global _WORKER_STATE
+    # Explicit initargs plumbing (rather than relying on fork
+    # inheritance) keeps injection working under any start method and
+    # across pool respawns.
+    set_fault_injector(fault_injector)
     engine = ProbeEngine(topology, seed=config.seed + 1)
     plan = _CampaignPlan(topology, config)
     engine.prepare_destinations(plan.dest_nodes)
@@ -207,6 +237,9 @@ def _run_chunk(
     ``ProcessPoolExecutor`` boundary.
     """
     start, stop = bounds
+    injector = get_fault_injector()
+    if injector is not None:
+        injector.maybe_crash_worker(start)
     engine, plan, config = _WORKER_STATE
     started = time.perf_counter()
     records = [
@@ -271,27 +304,105 @@ def run_campaign(
             (start, min(start + chunk, config.num_traces))
             for start in range(0, config.num_traces, chunk)
         ]
-        records = []
-        shard_times: List[float] = []
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_init_worker,
-            initargs=(topology, config),
-        ) as pool:
-            for (start, stop), (part, elapsed) in zip(
-                bounds, pool.map(_run_chunk, bounds)
-            ):
-                records.extend(part)
-                shard_times.append(elapsed)
-                tracer.record_span(
-                    "campaign.shard", elapsed,
-                    start=start, stop=stop, records=len(part),
-                )
-        if tracer.enabled and shard_times:
-            tracer.annotate(
-                shards=len(shard_times),
-                shard_s_max=max(shard_times),
-                shard_s_mean=sum(shard_times) / len(shard_times),
-            )
+        results = _run_sharded(topology, plan, config, n_workers, bounds)
+        records: List[TracerouteRecord] = []
+        for b in bounds:
+            records.extend(results[b])
+        if tracer.enabled:
+            tracer.annotate(shards=len(bounds))
         tracer.count("records", len(records))
         return records
+
+
+def _run_sharded(
+    topology: InternetTopology,
+    plan: _CampaignPlan,
+    config: CampaignConfig,
+    n_workers: int,
+    bounds: List[Tuple[int, int]],
+) -> Dict[Tuple[int, int], List[TracerouteRecord]]:
+    """Run every shard to completion, surviving worker-process deaths.
+
+    A dead worker breaks the whole ``ProcessPoolExecutor``; shard
+    results harvested before the break are kept, the pool is re-spawned
+    after an exponentially backed-off delay, and only incomplete shards
+    are requeued.  Requeueing is safe because each trace index owns a
+    private RNG stream: replaying a shard reproduces its records
+    exactly.  Consecutive no-progress restarts beyond
+    ``config.max_pool_restarts`` degrade the remaining shards to an
+    in-process serial run (a pool that cannot hold workers — fork bomb
+    protection, rlimits, cgroup OOM — must not make the campaign
+    unfinishable).
+    """
+    tracer = get_tracer()
+    injector = get_fault_injector()
+    results: Dict[Tuple[int, int], List[TracerouteRecord]] = {}
+    pending = list(bounds)
+    restarts = 0
+    backoff = max(0.0, config.retry_backoff_s)
+    while pending:
+        harvested = 0
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(pending)),
+                initializer=_init_worker,
+                initargs=(topology, config, injector),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_chunk, b): b for b in pending
+                }
+                for future in as_completed(futures):
+                    start, stop = futures[future]
+                    part, elapsed = future.result()
+                    results[(start, stop)] = part
+                    harvested += 1
+                    tracer.record_span(
+                        "campaign.shard", elapsed,
+                        start=start, stop=stop, records=len(part),
+                    )
+        except BrokenProcessPool:
+            pending = [b for b in pending if b not in results]
+            restarts = restarts + 1 if harvested == 0 else 1
+            if restarts > config.max_pool_restarts:
+                tracer.event(
+                    "campaign.degraded", mode="serial",
+                    shards_remaining=len(pending), restarts=restarts - 1,
+                )
+                _run_serial_fallback(topology, plan, config, pending, results)
+                return results
+            tracer.event(
+                "campaign.retry", attempt=restarts,
+                shards_remaining=len(pending), backoff_s=backoff,
+            )
+            if backoff > 0.0:
+                time.sleep(backoff)
+            backoff = min(
+                max(backoff, config.retry_backoff_s) * 2,
+                _RETRY_BACKOFF_CAP_S,
+            )
+        else:
+            pending = [b for b in pending if b not in results]
+    return results
+
+
+def _run_serial_fallback(
+    topology: InternetTopology,
+    plan: _CampaignPlan,
+    config: CampaignConfig,
+    pending: List[Tuple[int, int]],
+    results: Dict[Tuple[int, int], List[TracerouteRecord]],
+) -> None:
+    """Finish *pending* shards in-process (same records as any worker)."""
+    engine = ProbeEngine(topology, seed=config.seed + 1)
+    engine.prepare_destinations(plan.dest_nodes)
+    tracer = get_tracer()
+    for start, stop in pending:
+        started = time.perf_counter()
+        results[(start, stop)] = [
+            _trace_for_index(engine, plan, config, index)
+            for index in range(start, stop)
+        ]
+        tracer.record_span(
+            "campaign.shard", time.perf_counter() - started,
+            start=start, stop=stop, records=stop - start, degraded=True,
+        )

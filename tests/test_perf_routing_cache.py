@@ -183,7 +183,9 @@ class TestArtifactCache:
         stats = warm.cache_stats()
         assert stats["hits"] >= 1 and stats["misses"] == 0
 
-    def test_cache_disabled_by_default(self):
+    def test_cache_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         scenario = Scenario(seed=77, campaign_traces=120)
         assert scenario.cache_stats() == {
             "enabled": False, "hits": 0, "misses": 0, "root": None,

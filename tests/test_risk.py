@@ -119,6 +119,16 @@ class TestMetrics:
         fractions = [f for _, f in cdf]
         assert fractions == sorted(fractions)
 
+    def test_conduit_free_map_yields_vacuous_cdf(self):
+        from repro.fibermap.elements import FiberMap
+
+        empty = RiskMatrix(FiberMap(), isps=["Level 3"])
+        assert sharing_cdf(empty) == [(0, 1.0)]
+        assert conduits_shared_by_at_least(empty) == [(1, 0)]
+        assert conduits_shared_by_at_least(empty, max_k=3) == [
+            (1, 0), (2, 0), (3, 0),
+        ]
+
     def test_ranking_sorted(self, risk_matrix):
         rows = isp_ranking(risk_matrix)
         averages = [r.average for r in rows]
