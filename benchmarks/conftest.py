@@ -68,7 +68,7 @@ def report_output(request, scenario, bench_tracer):
 
     def write(name: str, text: str, **extra) -> None:
         (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-        campaign = scenario._campaign  # peek: never force a build here
+        campaign = scenario.peek("campaign")  # never force a build here
         manifest = RunManifest.from_tracer(
             bench_tracer,
             config=scenario.config.to_dict(),

@@ -13,6 +13,12 @@ Commands
                            persistent artifact cache (``prune --max-mb``
                            evicts LRU entries and sweeps orphans)
 ``trace summarize PATH``   render a run manifest written by ``--trace``
+``graph {show,explain <stage>,invalidate <stage>,validate}``
+                           inspect the scenario stage graph: the stage
+                           table, one stage's dependencies/seed/cache
+                           state, targeted cache eviction (stage plus
+                           dependents), or structural validation of the
+                           graph and every experiment's ``requires``
 
 Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size
 (default 20000, the library's ``DEFAULT_CAMPAIGN_TRACES``), ``--workers N``
@@ -130,6 +136,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("action", choices=("summarize",))
     trace.add_argument("path", help="manifest path")
+
+    graph = sub.add_parser(
+        "graph", help="inspect the scenario stage graph"
+    )
+    graph.add_argument(
+        "action", choices=("show", "explain", "invalidate", "validate"),
+        help="show the stage table, explain one stage, evict a "
+             "stage's cached artifacts (plus dependents), or validate "
+             "the graph and every experiment's declared requires",
+    )
+    graph.add_argument(
+        "stage", nargs="?", default=None,
+        help="stage name (explain/invalidate)",
+    )
     return parser
 
 
@@ -484,6 +504,121 @@ def _cmd_cache(
     return 0
 
 
+def _cmd_graph(
+    scenario: Scenario, action: str, stage: Optional[str], as_json: bool
+) -> int:
+    from repro.engine import UnknownStageError
+
+    graph = scenario.graph
+    if action in ("explain", "invalidate") and stage is None:
+        print(f"graph {action} requires a stage name", file=sys.stderr)
+        return 2
+    if action == "show":
+        rows = graph.describe()
+        if as_json:
+            _print_json(rows)
+            return 0
+        print(f"{len(rows)} stages (topological order):")
+        for row in rows:
+            deps = ", ".join(row["deps"]) or "-"
+            seed = (
+                "-" if row["derived_seed"] is None
+                else str(row["derived_seed"])
+            )
+            cached = ""
+            if row["policy"] == "persisted":
+                cached = (
+                    " [cached]" if row["cache_entry"]
+                    else " [not cached]" if row["cache_entry"] is not None
+                    else ""
+                )
+            print(
+                f"  {row['stage']:16s} {row['policy']:9s} "
+                f"seed={seed:6s} deps: {deps}{cached}"
+            )
+        return 0
+    if action == "validate":
+        from repro.experiments import EXPERIMENTS
+
+        problems = graph.validate()
+        for experiment_id in sorted(EXPERIMENTS):
+            for name in EXPERIMENTS[experiment_id].requires:
+                if name not in graph:
+                    problems.append(
+                        f"experiment {experiment_id!r} requires "
+                        f"unknown stage {name!r}"
+                    )
+            if not EXPERIMENTS[experiment_id].requires:
+                problems.append(
+                    f"experiment {experiment_id!r} declares no "
+                    f"required stages"
+                )
+        if as_json:
+            _print_json({"ok": not problems, "problems": problems})
+        elif problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(
+                f"stage graph OK: {len(graph.names())} stages, "
+                f"{len(EXPERIMENTS)} experiments with declared requires"
+            )
+        return 1 if problems else 0
+    try:
+        if action == "explain":
+            info = graph.explain(stage)
+            if as_json:
+                _print_json(info)
+                return 0
+            print(f"stage: {info['stage']}")
+            print(f"  {info['doc']}")
+            print(f"  policy:      {info['policy']}")
+            print(f"  deps:        {', '.join(info['deps']) or '-'}")
+            print(f"  closure:     {', '.join(info['closure']) or '-'}")
+            print(f"  dependents:  {', '.join(info['dependents']) or '-'}")
+            if info["derived_seed"] is not None:
+                print(
+                    f"  seed:        {info['derived_seed']} "
+                    f"(base {scenario.seed} + offset {info['seed_offset']})"
+                )
+            if info["policy"] == "persisted":
+                print(f"  cache key:   {info['cache_key']}")
+                state = (
+                    "no cache configured" if info["cache_entry"] is None
+                    else "warm" if info["cache_entry"] else "cold"
+                )
+                print(f"  cache entry: {state}")
+            return 0
+        # invalidate
+        if scenario.cache is None:
+            print(
+                "no artifact cache configured (set --cache-dir or "
+                "REPRO_CACHE)", file=sys.stderr,
+            )
+            return 2
+        removed = graph.invalidate(stage)
+        affected = [stage, *graph.dependents(stage)]
+        if as_json:
+            _print_json({
+                "stage": stage,
+                "affected": affected,
+                "artifacts_removed": removed,
+            })
+            return 0
+        print(
+            f"invalidated {', '.join(affected)}: removed {removed} "
+            f"cached artifact(s)"
+        )
+        return 0
+    except UnknownStageError:
+        print(
+            f"unknown stage {stage!r}; known: "
+            f"{', '.join(scenario.graph.names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+
 def _cmd_trace(action: str, path: str) -> int:
     from repro.obs import RunManifest
 
@@ -551,6 +686,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             return _cmd_partition(scenario)
         if args.command == "exchange":
             return _cmd_exchange(scenario, args.conduits)
+        if args.command == "graph":
+            return _cmd_graph(scenario, args.action, args.stage, args.json)
         raise AssertionError("unreachable")  # pragma: no cover
     finally:
         if tracer is not None:

@@ -1,0 +1,38 @@
+"""Declarative stage-graph execution engine.
+
+The paper's artifacts form a fixed dataflow — §2 construction, §4.3
+campaign and overlay, §4 risk matrix — and every layer above it
+(scenario facade, experiment runner, CLI) used to re-implement the same
+execution conventions by hand.  This package makes the dataflow a
+first-class object: stages are declared as :class:`StageDef` nodes and
+a :class:`StageGraph` owns resolution order, memoization, artifact
+caching with degraded-store recovery, tracer spans, derived-seed rules,
+and thread-pool fan-out — once, for every stage.
+
+    >>> from repro.engine import StageDef, StageGraph
+    >>> table = (
+    ...     StageDef("a", lambda ctx: 1, seed_offset=0),
+    ...     StageDef("b", lambda ctx: ctx.dep("a") + 1, deps=("a",)),
+    ... )
+    >>> StageGraph(table, base_seed=7).materialize("b")
+    2
+"""
+
+from repro.engine.graph import StageGraph, UnknownStageError
+from repro.engine.stage import (
+    StageContext,
+    StageDef,
+    StageGraphError,
+    UndeclaredDependencyError,
+    validate_stages,
+)
+
+__all__ = [
+    "StageContext",
+    "StageDef",
+    "StageGraph",
+    "StageGraphError",
+    "UndeclaredDependencyError",
+    "UnknownStageError",
+    "validate_stages",
+]

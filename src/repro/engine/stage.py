@@ -1,0 +1,133 @@
+"""Stage declarations: the nodes of a :class:`~repro.engine.StageGraph`.
+
+A :class:`StageDef` is a *declaration*, not an execution: it names one
+artifact, the stages it consumes, how its RNG seed derives from the
+graph's base seed, and whether the built value persists in the artifact
+cache.  All the cross-cutting machinery — dependency resolution,
+memoization, cache fetch/store with degraded-store handling, tracer
+spans, fault hooks — lives in the graph, applied uniformly to every
+stage.  A stage's build function only ever sees a
+:class:`StageContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class StageGraphError(Exception):
+    """A structural problem with a stage graph (cycle, unknown dep, ...)."""
+
+
+class UndeclaredDependencyError(StageGraphError):
+    """A build function asked for a stage it never declared in ``deps``."""
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One declared stage of a dataflow graph.
+
+    ``build`` receives a :class:`StageContext` and returns the stage's
+    value.  ``deps`` names the stages the build may consume (enforced:
+    ``ctx.dep`` rejects anything undeclared).  ``seed_offset`` declares
+    the stage's derived-seed rule — ``base_seed + seed_offset`` — or
+    ``None`` for stages with no randomness of their own.  ``persist``
+    marks the stage for the artifact cache, keyed by the graph
+    parameters named in ``cache_params``.
+    """
+
+    name: str
+    build: Callable[["StageContext"], Any]
+    deps: Tuple[str, ...] = ()
+    seed_offset: Optional[int] = None
+    persist: bool = False
+    cache_params: Tuple[str, ...] = ()
+    #: Optional human-readable one-liner (surfaced by ``graph show``).
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StageGraphError("a stage needs a non-empty name")
+        if self.name in self.deps:
+            raise StageGraphError(f"stage {self.name!r} depends on itself")
+        if self.cache_params and not self.persist:
+            raise StageGraphError(
+                f"stage {self.name!r} declares cache_params but is not "
+                f"persisted"
+            )
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """What a build function is allowed to see.
+
+    ``dep(name)`` returns a declared dependency's value (materializing
+    it on demand); ``seed`` is the stage's derived seed; ``params`` are
+    the graph-wide parameters (campaign size, worker count, ...).
+    """
+
+    graph: Any = field(repr=False)
+    stage: StageDef
+
+    def dep(self, name: str) -> Any:
+        if name not in self.stage.deps:
+            raise UndeclaredDependencyError(
+                f"stage {self.stage.name!r} asked for {name!r} but declares "
+                f"deps={self.stage.deps!r}"
+            )
+        return self.graph.materialize(name)
+
+    @property
+    def seed(self) -> int:
+        if self.stage.seed_offset is None:
+            raise StageGraphError(
+                f"stage {self.stage.name!r} declares no seed_offset"
+            )
+        return self.graph.base_seed + self.stage.seed_offset
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.graph.params
+
+
+def validate_stages(stages: Tuple[StageDef, ...]) -> list:
+    """Structural problems with a stage table, as human-readable strings.
+
+    Checks: unique names, every declared dependency resolvable, and
+    acyclicity.  An empty list means the table forms a well-defined DAG.
+    ``StageGraph.__init__`` raises on any of these; the CLI's
+    ``graph validate`` surfaces them as a report instead.
+    """
+    problems = []
+    names = [s.name for s in stages]
+    seen = set()
+    for name in names:
+        if name in seen:
+            problems.append(f"duplicate stage name {name!r}")
+        seen.add(name)
+    by_name = {s.name: s for s in stages}
+    for stage in stages:
+        for dep in stage.deps:
+            if dep not in by_name:
+                problems.append(
+                    f"stage {stage.name!r} depends on unknown stage {dep!r}"
+                )
+    # Kahn's algorithm over the resolvable subset: leftovers are cyclic.
+    indegree = {
+        s.name: sum(1 for d in s.deps if d in by_name) for s in stages
+    }
+    ready = sorted(n for n, k in indegree.items() if k == 0)
+    done = 0
+    while ready:
+        current = ready.pop()
+        done += 1
+        for stage in stages:
+            if current in stage.deps:
+                indegree[stage.name] -= 1
+                if indegree[stage.name] == 0:
+                    ready.append(stage.name)
+    if done != len(set(names)):
+        cyclic = sorted(n for n, k in indegree.items() if k > 0)
+        problems.append(f"dependency cycle involving {', '.join(cyclic)}")
+    return problems

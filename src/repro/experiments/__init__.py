@@ -1,15 +1,19 @@
 """One experiment module per table and figure of the paper.
 
-Every module exposes ``run(scenario) -> result`` and
-``format_result(result) -> str``; :mod:`repro.experiments.runner` holds
-the registry mapping experiment ids (``table1``, ``fig6``, ...) to them
-and wraps each run into a typed :class:`ExperimentResult`.
+Every module exposes ``run(scenario) -> result``,
+``format_result(result) -> str``, and a ``requires`` tuple naming the
+scenario stages it reads; :mod:`repro.experiments.runner` holds the
+registry mapping experiment ids (``table1``, ``fig6``, ...) to them,
+materializes exactly the declared stage subgraph per run, and wraps
+each run into a typed :class:`ExperimentResult`.
 """
 
 from repro.experiments.runner import (
     EXPERIMENTS,
     Experiment,
     ExperimentResult,
+    RestrictedScenario,
+    UndeclaredStageAccessError,
     run_all,
     run_experiment,
 )
@@ -18,6 +22,8 @@ __all__ = [
     "EXPERIMENTS",
     "Experiment",
     "ExperimentResult",
+    "RestrictedScenario",
+    "UndeclaredStageAccessError",
     "run_experiment",
     "run_all",
 ]

@@ -15,6 +15,10 @@ class ExtAnnotatedResult:
     annotated: AnnotatedMap
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "overlay")
+
+
 def run(scenario: Scenario) -> ExtAnnotatedResult:
     return ExtAnnotatedResult(
         annotated=annotate_map(scenario.constructed_map, scenario.overlay)

@@ -26,6 +26,10 @@ class ExtCapacityResult:
     correlation: float
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "overlay")
+
+
 def run(scenario: Scenario) -> ExtCapacityResult:
     model = build_capacity_model(scenario.constructed_map, scenario.overlay)
     return ExtCapacityResult(

@@ -17,6 +17,10 @@ class ExtExchangeResult:
     conduits: Tuple[ExchangeConduit, ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "ground_truth")
+
+
 def run(scenario: Scenario,
         num_conduits: int = DEFAULT_CONDUITS) -> ExtExchangeResult:
     return ExtExchangeResult(

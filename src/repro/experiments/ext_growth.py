@@ -16,6 +16,10 @@ class ExtGrowthResult:
     result: GrowthResult
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("ground_truth",)
+
+
 def run(scenario: Scenario, years: int = DEFAULT_YEARS) -> ExtGrowthResult:
     return ExtGrowthResult(
         result=simulate_growth(scenario.ground_truth, years=years)

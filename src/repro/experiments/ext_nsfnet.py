@@ -44,6 +44,10 @@ class ExtNsfnetResult:
         return self.nsfnet_mean_tenancy / self.map_mean_tenancy
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario) -> ExtNsfnetResult:
     fiber_map = scenario.constructed_map
     backbone = nsfnet_backbone()

@@ -19,6 +19,10 @@ class ExtOpacityResult:
     study: OpacityStudy
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario, max_pairs: int = 25) -> ExtOpacityResult:
     return ExtOpacityResult(
         study=opacity_study(

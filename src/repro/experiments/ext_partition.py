@@ -25,6 +25,10 @@ class ExtPartitionResult:
     metro: MetroCoverageReport
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario) -> ExtPartitionResult:
     fiber_map = scenario.constructed_map
     return ExtPartitionResult(

@@ -17,6 +17,10 @@ class ExtPolicyResult:
     points: Tuple[TradeoffPoint, ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario,
         max_entrants: int = DEFAULT_MAX_ENTRANTS) -> ExtPolicyResult:
     return ExtPolicyResult(

@@ -31,6 +31,10 @@ class ExtProtectionResult:
     rows: Tuple[ProtectionRow, ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario, max_pairs: int = 80) -> ExtProtectionResult:
     rows = []
     for isp in STUDIED_ISPS:

@@ -40,6 +40,10 @@ class ExtResilienceResult:
         return self.attack.cumulative_disconnected[-1] / baseline
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("campaign", "constructed_map", "overlay", "risk_matrix", "topology")
+
+
 def run(scenario: Scenario, cuts: int = DEFAULT_CUTS,
         trials: int = DEFAULT_TRIALS) -> ExtResilienceResult:
     fiber_map = scenario.constructed_map

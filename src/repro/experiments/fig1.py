@@ -23,6 +23,10 @@ class Fig1Result:
     report: ConnectivityReport
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario) -> Fig1Result:
     return Fig1Result(report=connectivity_report(scenario.constructed_map))
 

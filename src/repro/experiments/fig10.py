@@ -20,6 +20,10 @@ class Fig10Result:
     suggestions: Dict[str, RobustnessSuggestion]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "risk_matrix")
+
+
 def run(scenario: Scenario, top: int = 12) -> Fig10Result:
     return Fig10Result(
         suggestions=optimize_all_isps(

@@ -27,6 +27,10 @@ class Fig11Result:
     num_candidates: int
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "ground_truth")
+
+
 def run(
     scenario: Scenario,
     max_k: int = 10,

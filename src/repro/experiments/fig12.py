@@ -23,6 +23,10 @@ class Fig12Result:
     mean_avg_over_best: float
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "ground_truth")
+
+
 def run(scenario: Scenario, max_pairs: int = 400) -> Fig12Result:
     study = latency_study(
         scenario.constructed_map, scenario.network, max_pairs=max_pairs

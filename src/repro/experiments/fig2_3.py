@@ -29,6 +29,10 @@ class Fig23Result:
     secondary_corridors: int
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("ground_truth",)
+
+
 def run(scenario: Scenario) -> Fig23Result:
     network = scenario.network
     layers = []

@@ -24,6 +24,10 @@ class Fig4Result:
     road_beats_rail: float
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "ground_truth")
+
+
 def run(scenario: Scenario, buffer_km: float = 15.0) -> Fig4Result:
     report = geography_report(
         scenario.constructed_map, scenario.network, buffer_km=buffer_km

@@ -33,6 +33,10 @@ class Fig5Result:
     pipeline_explained: int
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "ground_truth")
+
+
 def run(scenario: Scenario, threshold: float = 0.8) -> Fig5Result:
     fiber_map = scenario.constructed_map
     report = geography_report(fiber_map, scenario.network)

@@ -24,6 +24,10 @@ class Fig6Result:
     top12_min_tenants: int
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("risk_matrix",)
+
+
 def run(scenario: Scenario) -> Fig6Result:
     matrix = scenario.risk_matrix
     series = tuple(conduits_shared_by_at_least(matrix))

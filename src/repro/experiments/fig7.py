@@ -24,6 +24,10 @@ class Fig7Result:
     rows: Tuple[IspRankRow, ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("risk_matrix",)
+
+
 def run(scenario: Scenario) -> Fig7Result:
     return Fig7Result(rows=tuple(isp_ranking(scenario.risk_matrix)))
 

@@ -31,6 +31,10 @@ class Fig8Result:
     similar_pairs: Tuple[Tuple[str, str, int], ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("risk_matrix",)
+
+
 def run(scenario: Scenario) -> Fig8Result:
     matrix = scenario.risk_matrix
     return Fig8Result(

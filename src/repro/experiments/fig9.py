@@ -20,6 +20,10 @@ class Fig9Result:
     report: TrafficRiskReport
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("overlay", "risk_matrix")
+
+
 def run(scenario: Scenario) -> Fig9Result:
     return Fig9Result(
         report=traffic_risk_report(scenario.risk_matrix, scenario.overlay)

@@ -11,8 +11,9 @@ an ``ExperimentResult`` still unpacks like the legacy
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, Optional
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
+from repro.engine import StageGraphError
 from repro.obs.serialize import to_jsonable
 from repro.obs.tracer import get_tracer
 
@@ -43,7 +44,13 @@ from repro.experiments import (  # noqa: F401 (re-export convenience)
     table4,
     table5,
 )
-from repro.scenario import Scenario, us2015
+from repro.scenario import STAGE_OF_ATTRIBUTE, STAGES, Scenario, us2015
+
+_STAGE_NAMES: FrozenSet[str] = frozenset(s.name for s in STAGES)
+
+
+class UndeclaredStageAccessError(StageGraphError):
+    """An experiment touched a scenario stage it did not declare."""
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,46 @@ class Experiment:
     format_result: Callable[[Any], str]
     #: False for the paper's own artifacts, True for extension analyses.
     extension: bool = False
+    #: The scenario stages this experiment reads.  The runner
+    #: materializes exactly this subgraph before running, and the
+    #: scenario view handed to ``run`` refuses access to any other
+    #: stage — so the declaration can never drift from the code.
+    requires: Tuple[str, ...] = ()
+
+
+class RestrictedScenario:
+    """A scenario view limited to an experiment's declared stages.
+
+    Forwards every attribute to the underlying :class:`Scenario`,
+    except the stage-backed ones (``scenario.campaign``,
+    ``scenario.risk_matrix``, ...): those raise
+    :class:`UndeclaredStageAccessError` unless the backing stage is in
+    the experiment's ``requires``.  Config views (``seed``,
+    ``campaign_traces``, ...) pass through untouched.
+    """
+
+    def __init__(
+        self, scenario: Scenario, label: str, allowed: FrozenSet[str]
+    ):
+        self._scenario = scenario
+        self._label = label
+        self._allowed = allowed
+
+    def __getattr__(self, name: str) -> Any:
+        stage = STAGE_OF_ATTRIBUTE.get(name)
+        if stage is not None and stage not in self._allowed:
+            raise UndeclaredStageAccessError(
+                f"{self._label} read scenario.{name} (stage {stage!r}) "
+                f"without declaring it; declared requires: "
+                f"{sorted(self._allowed) or '()'}"
+            )
+        return getattr(self._scenario, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RestrictedScenario({self._label}, "
+            f"allowed={sorted(self._allowed)})"
+        )
 
 
 def _register() -> Dict[str, Experiment]:
@@ -99,21 +146,23 @@ def _register() -> Dict[str, Experiment]:
             ext_growth, "Extension: sharing trajectory under growth"),
     }
     registry = {}
-    for experiment_id, (module, title) in modules.items():
-        registry[experiment_id] = Experiment(
-            experiment_id=experiment_id,
-            title=title,
-            run=module.run,
-            format_result=module.format_result,
-        )
-    for experiment_id, (module, title) in extensions.items():
-        registry[experiment_id] = Experiment(
-            experiment_id=experiment_id,
-            title=title,
-            run=module.run,
-            format_result=module.format_result,
-            extension=True,
-        )
+    for extension, table in ((False, modules), (True, extensions)):
+        for experiment_id, (module, title) in table.items():
+            requires = tuple(module.requires)
+            unknown = sorted(set(requires) - _STAGE_NAMES)
+            if unknown:
+                raise StageGraphError(
+                    f"experiment {experiment_id!r} requires unknown "
+                    f"stage(s): {unknown}"
+                )
+            registry[experiment_id] = Experiment(
+                experiment_id=experiment_id,
+                title=title,
+                run=module.run,
+                format_result=module.format_result,
+                extension=extension,
+                requires=requires,
+            )
     return registry
 
 
@@ -156,14 +205,24 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run one experiment; returns an :class:`ExperimentResult`.
 
-    Each run is one ``experiment.<id>`` tracing span, so a traced
-    ``run all`` manifest attributes wall time per experiment.
+    The experiment's declared ``requires`` stages are materialized
+    first (the minimal subgraph — nothing else builds), and the
+    experiment runs against a :class:`RestrictedScenario` that raises
+    on any undeclared stage access.  Each run is one
+    ``experiment.<id>`` tracing span, so a traced ``run all`` manifest
+    attributes wall time per experiment.
     """
     experiment = EXPERIMENTS[experiment_id]
     scenario = scenario if scenario is not None else us2015()
     tracer = get_tracer()
     with tracer.span(f"experiment.{experiment_id}"):
-        data = experiment.run(scenario)
+        scenario.graph.materialize_many(experiment.requires)
+        view = RestrictedScenario(
+            scenario,
+            f"experiment {experiment_id!r}",
+            frozenset(experiment.requires),
+        )
+        data = experiment.run(view)
         text = experiment.format_result(data)
         tracer.annotate(extension=experiment.extension)
     return ExperimentResult(
@@ -178,6 +237,7 @@ def run_experiment(
 def run_all(
     scenario: Optional[Scenario] = None,
     ids: Optional[Iterable[str]] = None,
+    stage_workers: int = 0,
 ) -> Iterator[ExperimentResult]:
     """Run experiments in id order, streaming each result.
 
@@ -187,11 +247,21 @@ def run_all(
     callers can render incrementally instead of waiting for the full
     sweep.  (Previously returned a fully materialized list of
     ``(id, text)`` pairs; iterate and use the named fields instead.)
+
+    ``stage_workers > 1`` prefetches the union of the selected
+    experiments' required stages over a thread pool before the first
+    experiment runs, fanning independent stage builds (e.g. the
+    constructed map and the traceroute campaign) out concurrently.
     """
     selected = sorted(EXPERIMENTS) if ids is None else sorted(ids)
     for experiment_id in selected:
         if experiment_id not in EXPERIMENTS:
             raise KeyError(experiment_id)
     scenario = scenario if scenario is not None else us2015()
+    if stage_workers > 1:
+        needed = sorted(
+            {s for i in selected for s in EXPERIMENTS[i].requires}
+        )
+        scenario.graph.materialize_many(needed, max_workers=stage_workers)
     for experiment_id in selected:
         yield run_experiment(experiment_id, scenario)

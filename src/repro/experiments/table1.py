@@ -35,6 +35,10 @@ class Table1Result:
     total_links: int
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map",)
+
+
 def run(scenario: Scenario) -> Table1Result:
     report = scenario.construction_report
     rows = tuple(sorted(report.table1, key=lambda r: r.isp))

@@ -24,6 +24,10 @@ class Table23Result:
     east_to_west: Tuple[ConduitRow, ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("overlay",)
+
+
 def run(scenario: Scenario, top: int = 20) -> Table23Result:
     overlay = scenario.overlay
     return Table23Result(

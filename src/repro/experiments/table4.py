@@ -35,6 +35,10 @@ class Table4Result:
     xo_to_level3_ratio: float
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("overlay",)
+
+
 def run(scenario: Scenario, top: int = 10) -> Table4Result:
     usage = scenario.overlay.isp_conduit_usage()
     rows = tuple(usage[:top])

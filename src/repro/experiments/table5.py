@@ -22,6 +22,10 @@ class Table5Result:
     top_peer_counts: Tuple[Tuple[str, int], ...]
 
 
+#: Scenario stages this experiment reads (enforced by the runner).
+requires = ("constructed_map", "risk_matrix")
+
+
 def run(scenario: Scenario, top: int = 12) -> Table5Result:
     suggestions = peering_suggestions(
         scenario.constructed_map, scenario.risk_matrix, top=top

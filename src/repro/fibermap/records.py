@@ -195,10 +195,13 @@ def generate_records(
             # Rail settlements only make sense for rail ROWs.
             if kind == "row_settlement" and row.kind != "rail":
                 kind = "agency_filing"
+            # Iterate tenants in sorted order: pairing the RNG stream
+            # with set-iteration order would make the selection depend
+            # on PYTHONHASHSEED (observed as cross-process divergence
+            # of the constructed map before PR 4's golden-hash tests).
             tenants = tuple(
-                sorted(
-                    t for t in conduit.tenants if rng.random() < tenant_recall
-                )
+                t for t in sorted(conduit.tenants)
+                if rng.random() < tenant_recall
             )
             if not tenants:
                 # A document always names at least one carrier.

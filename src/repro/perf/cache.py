@@ -240,6 +240,31 @@ class ArtifactCache:
                 raise
         return path
 
+    def contains(self, stage: str, params: Dict[str, Any]) -> bool:
+        """Whether an entry exists for ``(stage, params)`` — no load,
+        no hit/miss accounting (used by ``graph show``/``explain``)."""
+        return self._path_for(stage, params).is_file()
+
+    def evict_stage(self, stage: str) -> int:
+        """Delete every stored artifact belonging to *stage*.
+
+        The targeted counterpart of :meth:`clear`: ``graph invalidate``
+        uses it to drop one stage (and its dependents) while the rest
+        of the warm cache survives.  Returns how many entries went.
+        """
+        from repro.obs.tracer import get_tracer
+
+        removed = 0
+        with self._lock():
+            for entry in self.entries():
+                if entry.stage != stage:
+                    continue
+                with contextlib.suppress(OSError):
+                    entry.path.unlink()
+                    removed += 1
+        get_tracer().event("cache.evict", stage=stage, removed=removed)
+        return removed
+
     # ------------------------------------------------------------------
     def entries(self) -> List[CacheEntry]:
         if not self.root.is_dir():

@@ -1,6 +1,6 @@
 """The canonical **US2015** scenario: everything wired together.
 
-One object builds (lazily, with caching) every artifact the paper's
+One object exposes (lazily, with caching) every artifact the paper's
 analyses need: the ground-truth world, the published maps and records,
 the §2 constructed map, the router-level topology, a traceroute
 campaign, its conduit overlay, and the §4 risk matrix.  All components
@@ -11,27 +11,35 @@ derive deterministically from the scenario seed.
     >>> scenario.constructed_map.stats()
     MapStats(...)
 
+Since PR 4 the dataflow itself is declarative: :data:`STAGES` is a
+table of :class:`repro.engine.StageDef` nodes — each naming its
+dependencies, derived-seed offset, and cache policy — and a
+:class:`repro.engine.StageGraph` owns all execution policy
+(memoization, artifact-cache fetch/store with degraded-store recovery,
+tracer spans, thread fan-out).  ``Scenario`` is a thin facade over
+that graph: the public properties below are unchanged, and
+``scenario.graph`` exposes the engine for inspection
+(``python -m repro graph show``), targeted cache eviction
+(``graph invalidate``), and concurrent stage materialization.
+
 Configuration lives in one frozen :class:`ScenarioConfig` value
 (``Scenario(config=...)`` / ``us2015(config=...)``); the individual
 ``seed``/``campaign_traces``/``workers``/``cache`` keyword arguments
-remain supported as a legacy spelling of the same thing.  Every stage
-build runs inside a :mod:`repro.obs` tracing span, so a run under an
-enabled tracer yields a full manifest of where the time went and which
-stages the artifact cache served.
+remain supported as a legacy spelling of the same thing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine import StageContext, StageDef, StageGraph
 from repro.fibermap.elements import FiberMap
 from repro.fibermap.pipeline import ConstructionReport, MapConstructionPipeline
 from repro.fibermap.publish import ProviderMap, publish_provider_maps
 from repro.fibermap.records import RecordsCorpus, generate_records
 from repro.fibermap.synthesis import GroundTruth, synthesize_ground_truth
-from repro.obs.tracer import get_tracer
 from repro.perf.cache import (
     CacheLike,
     describe_cache_setting,
@@ -84,12 +92,182 @@ class ScenarioConfig:
         }
 
 
+# ----------------------------------------------------------------------
+# The stage table: the paper's dataflow, declared.
+#
+# Seed offsets are the historical per-stage derivations (previously
+# scattered as ``seed + 1`` ... ``seed + 6`` literals); cache keys are
+# the historical ``(stage, params)`` pairs, so a cache warmed before
+# this refactor still serves.  The campaign's worker count shards the
+# build without changing its records, so it stays out of the cache key.
+
+
+def _build_ground_truth(ctx: StageContext) -> GroundTruth:
+    return synthesize_ground_truth(ctx.seed)
+
+
+def _build_provider_maps(ctx: StageContext) -> Dict[str, ProviderMap]:
+    return publish_provider_maps(ctx.dep("ground_truth"), seed=ctx.seed)
+
+
+def _build_records(ctx: StageContext) -> RecordsCorpus:
+    return generate_records(ctx.dep("ground_truth"), seed=ctx.seed)
+
+
+def _build_constructed_map(
+    ctx: StageContext,
+) -> Tuple[FiberMap, ConstructionReport]:
+    pipeline = MapConstructionPipeline(
+        ctx.dep("ground_truth"),
+        provider_maps=ctx.dep("provider_maps"),
+        corpus=ctx.dep("records"),
+    )
+    return pipeline.run()
+
+
+def _build_topology(ctx: StageContext) -> InternetTopology:
+    return InternetTopology(ctx.dep("ground_truth"), seed=ctx.seed)
+
+
+def _build_probe_engine(ctx: StageContext) -> ProbeEngine:
+    return ProbeEngine(ctx.dep("topology"), seed=ctx.seed)
+
+
+def _build_campaign(ctx: StageContext) -> List[TracerouteRecord]:
+    config = CampaignConfig(
+        num_traces=ctx.params["traces"],
+        seed=ctx.seed,
+        workers=ctx.params["workers"],
+    )
+    return run_campaign(
+        ctx.dep("topology"), config, engine=ctx.dep("probe_engine")
+    )
+
+
+def _build_geolocation(ctx: StageContext) -> GeolocationDatabase:
+    return GeolocationDatabase(ctx.dep("topology"), seed=ctx.seed)
+
+
+def _build_overlay(ctx: StageContext) -> TrafficOverlay:
+    fiber_map, _ = ctx.dep("constructed_map")
+    overlay = TrafficOverlay(
+        fiber_map, ctx.dep("topology"), ctx.dep("geolocation")
+    )
+    overlay.add_traces(ctx.dep("campaign"))
+    return overlay
+
+
+def _build_risk_matrix(ctx: StageContext) -> RiskMatrix:
+    fiber_map, _ = ctx.dep("constructed_map")
+    return RiskMatrix(
+        fiber_map,
+        isps=[p.name for p in ctx.dep("ground_truth").profiles],
+    )
+
+
+#: The declared dataflow of one scenario, in paper order.
+STAGES: Tuple[StageDef, ...] = (
+    StageDef(
+        "ground_truth", _build_ground_truth, seed_offset=0,
+        persist=True, cache_params=("seed",),
+        doc="the synthesized world: actual conduits, tenancy, substrates",
+    ),
+    StageDef(
+        "provider_maps", _build_provider_maps,
+        deps=("ground_truth",), seed_offset=1,
+        doc="step-1 published provider maps",
+    ),
+    StageDef(
+        "records", _build_records,
+        deps=("ground_truth",), seed_offset=2,
+        doc="the public-records corpus (permits, filings)",
+    ),
+    StageDef(
+        "constructed_map", _build_constructed_map,
+        deps=("ground_truth", "provider_maps", "records"),
+        persist=True, cache_params=("seed",),
+        doc="the §2 four-step constructed map (+ construction report)",
+    ),
+    StageDef(
+        "topology", _build_topology,
+        deps=("ground_truth",), seed_offset=3,
+        doc="router-level internet topology over the true world",
+    ),
+    StageDef(
+        "probe_engine", _build_probe_engine,
+        deps=("topology",), seed_offset=4,
+        doc="the traceroute simulator",
+    ),
+    StageDef(
+        "campaign", _build_campaign,
+        deps=("topology", "probe_engine"), seed_offset=5,
+        persist=True, cache_params=("seed", "traces"),
+        doc="the §4.3 traceroute campaign records",
+    ),
+    StageDef(
+        "geolocation", _build_geolocation,
+        deps=("topology",), seed_offset=6,
+        doc="router-to-city geolocation database",
+    ),
+    StageDef(
+        "overlay", _build_overlay,
+        deps=("constructed_map", "topology", "geolocation", "campaign"),
+        persist=True, cache_params=("seed", "traces"),
+        doc="the §4.3 traffic overlay on the constructed map",
+    ),
+    StageDef(
+        "risk_matrix", _build_risk_matrix,
+        deps=("constructed_map", "ground_truth"),
+        doc="the §4.1 ISP x conduit shared-risk matrix",
+    ),
+)
+
+#: Facade attribute -> backing stage.  Derived views (``network``,
+#: ``isps``, ``construction_report``) resolve to the stage whose value
+#: they project; the experiment runner uses this to enforce each
+#: experiment's declared ``requires``.
+STAGE_OF_ATTRIBUTE: Dict[str, str] = {
+    "ground_truth": "ground_truth",
+    "network": "ground_truth",
+    "isps": "ground_truth",
+    "provider_maps": "provider_maps",
+    "records": "records",
+    "constructed_map": "constructed_map",
+    "construction_report": "constructed_map",
+    "topology": "topology",
+    "probe_engine": "probe_engine",
+    "campaign": "campaign",
+    "geolocation": "geolocation",
+    "overlay": "overlay",
+    "risk_matrix": "risk_matrix",
+}
+
+
+def build_stage_graph(
+    config: ScenarioConfig, cache: Any = None
+) -> StageGraph:
+    """A fresh :class:`StageGraph` wired for *config*."""
+    return StageGraph(
+        STAGES,
+        base_seed=config.seed,
+        params={
+            "seed": config.seed,
+            "traces": config.campaign_traces,
+            "workers": config.workers,
+        },
+        cache=cache,
+        span_prefix="scenario",
+    )
+
+
 class Scenario:
     """A fully wired reproduction scenario.
 
-    Every property is computed on first access and cached; all
-    randomness is seeded from ``config.seed``, so two scenarios with the
-    same configuration are identical.
+    A thin facade over a :class:`repro.engine.StageGraph` built from
+    :data:`STAGES`: every property materializes its backing stage on
+    first access (memoized by the graph), and all randomness derives
+    from ``config.seed`` via each stage's declared offset, so two
+    scenarios with the same configuration are identical.
 
     Pass a :class:`ScenarioConfig` (preferred), or the legacy
     ``seed``/``campaign_traces``/``workers``/``cache`` keywords — both
@@ -98,7 +276,7 @@ class Scenario:
     changing its records.  ``cache`` selects the persistent artifact
     cache: ``None`` defers to the ``REPRO_CACHE``/``REPRO_CACHE_DIR``
     environment (off by default), ``True``/``False`` force it, a path
-    selects a specific cache root.  Cached stages (ground truth,
+    selects a specific cache root.  Persisted stages (ground truth,
     constructed map, campaign, overlay) are keyed by seed, campaign
     size, and a hash of the package source, so a warm cache can never
     serve stale artifacts.
@@ -121,17 +299,7 @@ class Scenario:
             )
         self.config = config
         self.cache = resolve_cache(config.cache)
-        self._ground_truth: Optional[GroundTruth] = None
-        self._provider_maps: Optional[Dict[str, ProviderMap]] = None
-        self._corpus: Optional[RecordsCorpus] = None
-        self._constructed: Optional[FiberMap] = None
-        self._report: Optional[ConstructionReport] = None
-        self._topology: Optional[InternetTopology] = None
-        self._engine: Optional[ProbeEngine] = None
-        self._campaign: Optional[List[TracerouteRecord]] = None
-        self._database: Optional[GeolocationDatabase] = None
-        self._overlay: Optional[TrafficOverlay] = None
-        self._matrix: Optional[RiskMatrix] = None
+        self.graph = build_stage_graph(config, self.cache)
 
     # -- legacy attribute views of the config --------------------------
     @property
@@ -147,44 +315,10 @@ class Scenario:
         return self.config.workers
 
     # ------------------------------------------------------------------
-    def _cached(
-        self, stage: str, params: Dict[str, Any], build: Callable[[], Any]
-    ) -> Any:
-        """Memoize one stage through the artifact cache, if enabled.
-
-        Under an enabled tracer each call is one ``scenario.<stage>``
-        span, annotated with cache hit/miss attribution.  A cache
-        *write* failure (disk full, permissions, injected fault) never
-        fails the run: the freshly built value is returned anyway and
-        the stage is marked degraded in the trace.
-        """
-        tracer = get_tracer()
-        with tracer.span(f"scenario.{stage}"):
-            if self.cache is None:
-                value = build()
-                tracer.annotate(cache="off")
-                return value
-            hit, value = self.cache.fetch(stage, params)
-            if hit:
-                tracer.annotate(cache="hit")
-                return value
-            value = build()
-            try:
-                self.cache.store(stage, params, value)
-            except OSError as error:
-                tracer.event(
-                    "cache.degraded", stage=stage,
-                    error=type(error).__name__,
-                )
-                tracer.annotate(cache="miss", store="failed")
-            else:
-                tracer.annotate(cache="miss")
-            return value
-
-    def _traced(self, stage: str, build: Callable[[], Any]) -> Any:
-        """Span wrapper for the cheap, never-persisted stages."""
-        with get_tracer().span(f"scenario.{stage}"):
-            return build()
+    def peek(self, stage: str) -> Any:
+        """A stage's value if already materialized, else ``None``
+        (never forces a build)."""
+        return self.graph.peek(stage)
 
     def cache_stats(self) -> Dict[str, Any]:
         """Hit/miss accounting for benchmarks and diagnostics."""
@@ -197,16 +331,10 @@ class Scenario:
             "root": str(self.cache.root),
         }
 
-    # ------------------------------------------------------------------
+    # -- the artifacts -------------------------------------------------
     @property
     def ground_truth(self) -> GroundTruth:
-        if self._ground_truth is None:
-            self._ground_truth = self._cached(
-                "ground_truth",
-                {"seed": self.seed},
-                lambda: synthesize_ground_truth(self.seed),
-            )
-        return self._ground_truth
+        return self.graph.materialize("ground_truth")
 
     @property
     def network(self) -> TransportationNetwork:
@@ -214,127 +342,46 @@ class Scenario:
 
     @property
     def provider_maps(self) -> Dict[str, ProviderMap]:
-        if self._provider_maps is None:
-            self._provider_maps = self._traced(
-                "provider_maps",
-                lambda: publish_provider_maps(
-                    self.ground_truth, seed=self.seed + 1
-                ),
-            )
-        return self._provider_maps
+        return self.graph.materialize("provider_maps")
 
     @property
     def records(self) -> RecordsCorpus:
-        if self._corpus is None:
-            self._corpus = self._traced(
-                "records",
-                lambda: generate_records(self.ground_truth, seed=self.seed + 2),
-            )
-        return self._corpus
-
-    def _run_pipeline(self) -> None:
-        def build() -> Tuple[FiberMap, ConstructionReport]:
-            pipeline = MapConstructionPipeline(
-                self.ground_truth,
-                provider_maps=self.provider_maps,
-                corpus=self.records,
-            )
-            return pipeline.run()
-
-        self._constructed, self._report = self._cached(
-            "constructed_map", {"seed": self.seed}, build
-        )
+        return self.graph.materialize("records")
 
     @property
     def constructed_map(self) -> FiberMap:
         """The §2 four-step constructed map (what all analyses use)."""
-        if self._constructed is None:
-            self._run_pipeline()
-        return self._constructed
+        return self.graph.materialize("constructed_map")[0]
 
     @property
     def construction_report(self) -> ConstructionReport:
-        if self._report is None:
-            self._run_pipeline()
-        return self._report
+        return self.graph.materialize("constructed_map")[1]
 
     @property
     def topology(self) -> InternetTopology:
-        if self._topology is None:
-            self._topology = self._traced(
-                "topology",
-                lambda: InternetTopology(self.ground_truth, seed=self.seed + 3),
-            )
-        return self._topology
+        return self.graph.materialize("topology")
 
     @property
     def probe_engine(self) -> ProbeEngine:
-        if self._engine is None:
-            self._engine = self._traced(
-                "probe_engine",
-                lambda: ProbeEngine(self.topology, seed=self.seed + 4),
-            )
-        return self._engine
+        return self.graph.materialize("probe_engine")
 
     @property
     def campaign(self) -> List[TracerouteRecord]:
-        if self._campaign is None:
-            config = CampaignConfig(
-                num_traces=self.campaign_traces,
-                seed=self.seed + 5,
-                workers=self.workers,
-            )
-            # Worker count never changes the records, so it stays out
-            # of the cache key.
-            self._campaign = self._cached(
-                "campaign",
-                {"seed": self.seed, "traces": self.campaign_traces},
-                lambda: run_campaign(
-                    self.topology, config, engine=self.probe_engine
-                ),
-            )
-        return self._campaign
+        return self.graph.materialize("campaign")
 
     @property
     def geolocation(self) -> GeolocationDatabase:
-        if self._database is None:
-            self._database = self._traced(
-                "geolocation",
-                lambda: GeolocationDatabase(self.topology, seed=self.seed + 6),
-            )
-        return self._database
+        return self.graph.materialize("geolocation")
 
     @property
     def overlay(self) -> TrafficOverlay:
         """The §4.3 traffic overlay, populated with the full campaign."""
-        if self._overlay is None:
-
-            def build() -> TrafficOverlay:
-                overlay = TrafficOverlay(
-                    self.constructed_map, self.topology, self.geolocation
-                )
-                overlay.add_traces(self.campaign)
-                return overlay
-
-            self._overlay = self._cached(
-                "overlay",
-                {"seed": self.seed, "traces": self.campaign_traces},
-                build,
-            )
-        return self._overlay
+        return self.graph.materialize("overlay")
 
     @property
     def risk_matrix(self) -> RiskMatrix:
         """The §4.1 risk matrix over the 20 studied providers."""
-        if self._matrix is None:
-            self._matrix = self._traced(
-                "risk_matrix",
-                lambda: RiskMatrix(
-                    self.constructed_map,
-                    isps=[p.name for p in self.ground_truth.profiles],
-                ),
-            )
-        return self._matrix
+        return self.graph.materialize("risk_matrix")
 
     @property
     def isps(self) -> Tuple[str, ...]:

@@ -1,0 +1,94 @@
+"""Golden-hash determinism tests: the refactor-proof behavior anchor.
+
+These tests pin stable content digests of the scenario's key artifacts
+— the synthesized ground truth, the §2 constructed map, the first and
+last traceroute campaign records, and the §4 risk matrix — for the
+shared test configuration (seed 2015, 3000 traces).  The digests were
+recorded against the pre-engine implementation (PR 3); any refactor of
+the scenario/engine layers must keep them byte-identical, which is what
+makes "behavior-preserving" a provable claim instead of a hope.
+
+The digests hash canonical renderings (sorted ids, dataclass reprs,
+raw matrix bytes), not pickles, so they are stable across processes
+and hash randomization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def fiber_map_digest(fiber_map) -> str:
+    """Canonical content hash of a :class:`FiberMap`."""
+    parts = []
+    for cid in sorted(fiber_map.conduits):
+        conduit = fiber_map.conduits[cid]
+        parts.append(
+            f"{cid}|{conduit.edge}|{conduit.row_id}|"
+            f"{sorted(conduit.tenants)}|{len(conduit.geometry)}|"
+            f"{conduit.length_km:.6f}"
+        )
+    for link_id in sorted(fiber_map.links):
+        link = fiber_map.links[link_id]
+        parts.append(
+            f"{link_id}|{link.isp}|{link.endpoints}|"
+            f"{link.city_path}|{link.conduit_ids}"
+        )
+    return _digest("\n".join(parts))
+
+
+def ground_truth_digest(ground_truth) -> str:
+    profiles = ",".join(p.name for p in ground_truth.profiles)
+    return _digest(
+        f"{fiber_map_digest(ground_truth.fiber_map)}|{profiles}|"
+        f"{ground_truth.seed}"
+    )
+
+
+def record_digest(record) -> str:
+    """Content hash of one :class:`TracerouteRecord` (dataclass repr)."""
+    return _digest(repr(record))
+
+
+def risk_matrix_digest(matrix) -> str:
+    body = hashlib.sha256(matrix.values.tobytes()).hexdigest()[:16]
+    return _digest(f"{matrix.isps}|{matrix.conduit_ids}|{body}")
+
+
+#: Recorded against the pre-refactor (PR 3) implementation for the
+#: shared test scenario: seed 2015, campaign_traces 3000, workers 1.
+GOLDEN = {
+    "ground_truth": "d4e2bc9bf782e728",
+    "constructed_map": "2505b2a3f71c6141",
+    "campaign_first": "4094afdbb746d804",
+    "campaign_last": "be933529a7a71663",
+    "campaign_len": 3000,
+    "risk_matrix": "9f34e7d97e57dc3c",
+}
+
+
+class TestGoldenHashes:
+    def test_ground_truth(self, scenario):
+        assert ground_truth_digest(scenario.ground_truth) == (
+            GOLDEN["ground_truth"]
+        )
+
+    def test_constructed_map(self, scenario):
+        assert fiber_map_digest(scenario.constructed_map) == (
+            GOLDEN["constructed_map"]
+        )
+
+    def test_campaign_first_and_last_records(self, scenario):
+        campaign = scenario.campaign
+        assert len(campaign) == GOLDEN["campaign_len"]
+        assert record_digest(campaign[0]) == GOLDEN["campaign_first"]
+        assert record_digest(campaign[-1]) == GOLDEN["campaign_last"]
+
+    def test_risk_matrix(self, scenario):
+        assert risk_matrix_digest(scenario.risk_matrix) == (
+            GOLDEN["risk_matrix"]
+        )

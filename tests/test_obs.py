@@ -114,26 +114,42 @@ class TestCacheEvents:
         assert tracer.spans[1].attrs["bytes"] > 0
         assert tracer.spans[2].attrs["hit"] is True
 
-    def test_scenario_cached_hit_miss_attribution(self, tmp_path):
-        config = ScenarioConfig(seed=11, campaign_traces=10, cache=tmp_path)
+    def test_stage_graph_hit_miss_attribution(self, tmp_path):
+        from repro.engine import StageDef, StageGraph
+
+        stages = (
+            StageDef(
+                "stage_y", lambda ctx: 42,
+                persist=True, cache_params=("k",),
+            ),
+        )
+        cache = ArtifactCache(tmp_path)
         with tracing() as tracer:
-            value = Scenario(config=config)._cached(
-                "stage_y", {"k": 1}, lambda: 42
-            )
-            again = Scenario(config=config)._cached(
-                "stage_y", {"k": 1}, lambda: 42
-            )
+            value = StageGraph(
+                stages, params={"k": 1}, cache=cache,
+                span_prefix="scenario",
+            ).materialize("stage_y")
+            again = StageGraph(
+                stages, params={"k": 1}, cache=cache,
+                span_prefix="scenario",
+            ).materialize("stage_y")
         assert value == again == 42
         assert tracer.spans[0].name == "scenario.stage_y"
         assert tracer.spans[0].attrs["cache"] == "miss"
+        # The second graph is a fresh process-equivalent: no memo, so
+        # the persisted artifact is served from the cache.
+        assert tracer.spans[1].name == "scenario.stage_y"
         assert tracer.spans[1].attrs["cache"] == "hit"
 
-    def test_scenario_uncached_marks_off(self):
-        scenario = Scenario(
-            config=ScenarioConfig(seed=11, campaign_traces=10, cache=False)
+    def test_stage_graph_uncached_marks_off(self):
+        from repro.engine import StageDef, StageGraph
+
+        graph = StageGraph(
+            (StageDef("stage_z", lambda ctx: 1, persist=True),),
+            cache=None,
         )
         with tracing() as tracer:
-            scenario._cached("stage_z", {}, lambda: 1)
+            graph.materialize("stage_z")
         assert tracer.spans[0].attrs["cache"] == "off"
 
 

@@ -255,3 +255,68 @@ class TestCliTrace:
         assert main(
             ["trace", "summarize", str(tmp_path / "nope.json")]
         ) == 2
+
+
+class TestCliGraph:
+    def test_show_lists_every_stage(self, capsys):
+        assert main(["graph", "show"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("ground_truth", "constructed_map", "campaign",
+                      "overlay", "risk_matrix"):
+            assert stage in out
+        assert "persisted" in out and "transient" in out
+
+    def test_show_json(self, capsys):
+        assert main(["--json", "graph", "show"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 10
+        by_stage = {row["stage"]: row for row in rows}
+        assert by_stage["campaign"]["derived_seed"] == 2015 + 5
+        assert by_stage["overlay"]["policy"] == "persisted"
+
+    def test_explain_requires_stage(self, capsys):
+        assert main(["graph", "explain"]) == 2
+        assert "requires a stage" in capsys.readouterr().err
+
+    def test_explain_unknown_stage(self, capsys):
+        assert main(["graph", "explain", "warp_core"]) == 2
+        assert "unknown stage" in capsys.readouterr().err
+
+    def test_explain_stage(self, capsys):
+        assert main(["--seed", "2016", "graph", "explain", "campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "topology" in out and "probe_engine" in out
+        assert "2021" in out  # base 2016 + offset 5
+
+    def test_validate_ok(self, capsys):
+        assert main(["graph", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "stage graph OK" in out
+
+    def test_validate_json(self, capsys):
+        assert main(["--json", "graph", "validate"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"ok": True, "problems": []}
+
+    def test_invalidate_without_cache(self, capsys):
+        assert main(["--no-cache", "graph", "invalidate", "campaign"]) == 2
+        assert "no artifact cache" in capsys.readouterr().err
+
+    def test_warm_cache_explain_and_invalidate(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path), "--traces", "100"]
+        # Warm the cache by running a cheap experiment.
+        assert main([*cache, "run", "fig2_3"]) == 0
+        capsys.readouterr()
+        assert main([*cache, "--json", "graph", "explain",
+                     "ground_truth"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["cache_entry"] is True
+        assert info["cache_key"] == {"seed": 2015}
+        assert main([*cache, "--json", "graph", "invalidate",
+                     "ground_truth"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["artifacts_removed"] >= 1
+        assert "risk_matrix" in payload["affected"]
+        assert main([*cache, "--json", "graph", "explain",
+                     "ground_truth"]) == 0
+        assert json.loads(capsys.readouterr().out)["cache_entry"] is False
