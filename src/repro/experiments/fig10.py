@@ -21,13 +21,17 @@ class Fig10Result:
 
 
 #: Scenario stages this experiment reads (enforced by the runner).
-requires = ("constructed_map", "risk_matrix")
+requires = ("constructed_map", "risk_matrix", "substrate")
 
 
 def run(scenario: Scenario, top: int = 12) -> Fig10Result:
     return Fig10Result(
         suggestions=optimize_all_isps(
-            scenario.constructed_map, scenario.risk_matrix, top=top
+            scenario.constructed_map,
+            scenario.risk_matrix,
+            top=top,
+            substrate=scenario.substrate,
+            workers=scenario.workers,
         )
     )
 

@@ -15,7 +15,7 @@ from repro.analysis.report import format_table
 from repro.mitigation.augmentation import (
     AugmentationResult,
     candidate_new_edges,
-    improvement_curve,
+    improvement_curves,
 )
 from repro.scenario import Scenario
 
@@ -28,7 +28,7 @@ class Fig11Result:
 
 
 #: Scenario stages this experiment reads (enforced by the runner).
-requires = ("constructed_map", "ground_truth")
+requires = ("constructed_map", "ground_truth", "substrate")
 
 
 def run(
@@ -40,12 +40,15 @@ def run(
     network = scenario.network
     candidates = candidate_new_edges(fiber_map, network)
     chosen = list(isps) if isps is not None else list(scenario.isps)
-    results = {
-        isp: improvement_curve(
-            fiber_map, network, isp, max_k=max_k, candidates=candidates
-        )
-        for isp in chosen
-    }
+    results = improvement_curves(
+        fiber_map,
+        network,
+        chosen,
+        max_k=max_k,
+        candidates=candidates,
+        substrate=scenario.substrate,
+        workers=scenario.workers,
+    )
     return Fig11Result(
         results=results, max_k=max_k, num_candidates=len(candidates)
     )

@@ -24,12 +24,15 @@ class Fig12Result:
 
 
 #: Scenario stages this experiment reads (enforced by the runner).
-requires = ("constructed_map", "ground_truth")
+requires = ("constructed_map", "ground_truth", "substrate")
 
 
 def run(scenario: Scenario, max_pairs: int = 400) -> Fig12Result:
     study = latency_study(
-        scenario.constructed_map, scenario.network, max_pairs=max_pairs
+        scenario.constructed_map,
+        scenario.network,
+        max_pairs=max_pairs,
+        substrate=scenario.substrate,
     )
     p50, p75 = study.row_los_gap_percentiles((50.0, 75.0))
     ratios = [p.avg_ms / p.best_ms for p in study.pairs if p.best_ms > 0]

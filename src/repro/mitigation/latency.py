@@ -28,6 +28,7 @@ import networkx as nx
 
 from repro.fibermap.elements import FiberMap
 from repro.geo.coords import fiber_delay_ms
+from repro.perf.substrate import GraphView, RoutingSubstrate, resolve_substrate
 from repro.transport.network import EdgeKey, TransportationNetwork, canonical_edge
 
 #: Default LOS distance band for studied pairs (km).  Maps to roughly
@@ -115,36 +116,38 @@ def _alternative_paths_mean_km(
     return sum(lengths) / len(lengths)
 
 
-def latency_study(
+def _alternative_paths_mean_km_view(
+    view: GraphView,
+    a: str,
+    b: str,
+    best_km: float,
+    max_paths: int,
+    slack: float,
+) -> float:
+    """Substrate twin of :func:`_alternative_paths_mean_km`: the Yen
+    enumeration yields the same non-decreasing length sequence, so the
+    mean is bit-identical."""
+    lengths: List[float] = []
+    for _path, km in view.shortest_simple_paths(a, b, "length_km"):
+        if km > best_km * slack and lengths:
+            break
+        lengths.append(km)
+        if len(lengths) >= max_paths:
+            break
+    return sum(lengths) / len(lengths)
+
+
+def _pair_delays_reference(
     fiber_map: FiberMap,
     network: TransportationNetwork,
-    min_km: float = DEFAULT_MIN_KM,
-    max_km: float = DEFAULT_MAX_KM,
-    max_pairs: Optional[int] = 400,
-    max_paths: int = DEFAULT_MAX_PATHS,
-    slack: float = DEFAULT_SLACK,
-    seed: int = 97,
-) -> LatencyStudy:
-    """Build the Figure 12 dataset.
-
-    Studied pairs are the distinct provider-link endpoint pairs whose LOS
-    distance falls in [min_km, max_km] — city pairs the industry actually
-    connects.  ``max_pairs`` caps the sample (deterministically) to keep
-    the k-shortest-path enumeration tractable.
-    """
+    ordered: Sequence[EdgeKey],
+    los_of: Dict[EdgeKey, float],
+    max_paths: int,
+    slack: float,
+) -> List[PairDelays]:
+    """NetworkX reference: per-pair graph solves (and a per-call ROW
+    subgraph rebuild inside ``row_shortest_path``)."""
     conduit_graph = fiber_map.simple_conduit_graph()
-    pairs: Set[EdgeKey] = set()
-    for link in fiber_map.links.values():
-        a, b = link.endpoints
-        if a == b:
-            continue
-        los = network.los_km(a, b)
-        if min_km <= los <= max_km:
-            pairs.add(canonical_edge(a, b))
-    ordered = sorted(pairs)
-    if max_pairs is not None and len(ordered) > max_pairs:
-        rng = random.Random(seed)
-        ordered = sorted(rng.sample(ordered, max_pairs))
     results: List[PairDelays] = []
     for a, b in ordered:
         if a not in conduit_graph or b not in conduit_graph:
@@ -162,14 +165,114 @@ def latency_study(
             _, row_km = network.row_shortest_path(a, b, kinds=("road", "rail"))
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             continue
-        los_km = network.los_km(a, b)
         results.append(
             PairDelays(
                 pair=(a, b),
                 best_ms=fiber_delay_ms(best_km),
                 avg_ms=fiber_delay_ms(avg_km),
                 row_ms=fiber_delay_ms(row_km),
-                los_ms=fiber_delay_ms(los_km),
+                los_ms=fiber_delay_ms(los_of[(a, b)]),
             )
+        )
+    return results
+
+
+def _pair_delays_substrate(
+    substrate: RoutingSubstrate,
+    network: TransportationNetwork,
+    ordered: Sequence[EdgeKey],
+    los_of: Dict[EdgeKey, float],
+    max_paths: int,
+    slack: float,
+) -> List[PairDelays]:
+    """Substrate fast path: best/ROW distances come from two batched
+    Dijkstras (one per weight view, all sources at once) and the
+    alternative-path means from the array-walk Yen enumeration."""
+    conduit_view = substrate.conduits.conduit_view()
+    row_view = substrate.row_view(("road", "rail"))
+    if row_view is None:
+        substrate.attach_network(network)
+        row_view = substrate.row_view(("road", "rail"))
+    import numpy as np
+
+    sources = [a for a, _ in ordered]
+    c_dist, _c_pred, c_row = conduit_view.dijkstra(sources, "length_km")
+    r_dist, _r_pred, r_row = row_view.dijkstra(sources, "length_km")
+    results: List[PairDelays] = []
+    for a, b in ordered:
+        if not conduit_view.present(a) or not conduit_view.present(b):
+            continue
+        best_km = float(c_dist[c_row[a], conduit_view.index[b]])
+        if not np.isfinite(best_km):
+            continue
+        avg_km = _alternative_paths_mean_km_view(
+            conduit_view, a, b, best_km, max_paths, slack
+        )
+        if not row_view.present(a) or not row_view.present(b):
+            continue
+        b_row_idx = row_view.index.get(b)
+        row_km = (
+            float(r_dist[r_row[a], b_row_idx])
+            if b_row_idx is not None
+            else float("inf")
+        )
+        if not np.isfinite(row_km):
+            continue
+        results.append(
+            PairDelays(
+                pair=(a, b),
+                best_ms=fiber_delay_ms(best_km),
+                avg_ms=fiber_delay_ms(avg_km),
+                row_ms=fiber_delay_ms(row_km),
+                los_ms=fiber_delay_ms(los_of[(a, b)]),
+            )
+        )
+    return results
+
+
+def latency_study(
+    fiber_map: FiberMap,
+    network: TransportationNetwork,
+    min_km: float = DEFAULT_MIN_KM,
+    max_km: float = DEFAULT_MAX_KM,
+    max_pairs: Optional[int] = 400,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    slack: float = DEFAULT_SLACK,
+    seed: int = 97,
+    substrate=None,
+) -> LatencyStudy:
+    """Build the Figure 12 dataset.
+
+    Studied pairs are the distinct provider-link endpoint pairs whose LOS
+    distance falls in [min_km, max_km] — city pairs the industry actually
+    connects.  ``max_pairs`` caps the sample (deterministically) to keep
+    the k-shortest-path enumeration tractable.  Each pair's LOS distance
+    is computed once, in the band filter, and reused for the result.
+    """
+    resolved = resolve_substrate(fiber_map, substrate, network=network)
+    los_of: Dict[EdgeKey, float] = {}
+    pairs: Set[EdgeKey] = set()
+    for link in fiber_map.links.values():
+        a, b = link.endpoints
+        if a == b:
+            continue
+        edge = canonical_edge(a, b)
+        los = los_of.get(edge)
+        if los is None:
+            los = network.los_km(*edge)
+            los_of[edge] = los
+        if min_km <= los <= max_km:
+            pairs.add(edge)
+    ordered = sorted(pairs)
+    if max_pairs is not None and len(ordered) > max_pairs:
+        rng = random.Random(seed)
+        ordered = sorted(rng.sample(ordered, max_pairs))
+    if resolved is None:
+        results = _pair_delays_reference(
+            fiber_map, network, ordered, los_of, max_paths, slack
+        )
+    else:
+        results = _pair_delays_substrate(
+            resolved, network, ordered, los_of, max_paths, slack
         )
     return LatencyStudy(pairs=tuple(results))

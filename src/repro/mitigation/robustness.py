@@ -12,16 +12,26 @@ of the conduits on the path.  Two metrics evaluate the suggestion
 path over the original single conduit, and **shared-risk reduction**
 (SRR), the drop from the original conduit's tenant count to the worst
 tenant count along the optimized path.
+
+The optimization is *ISP-independent* — the alternate path around a
+conduit is a property of the conduit graph alone — so
+:func:`optimize_all_isps` computes each conduit's optimum once on the
+shared routing substrate (see :mod:`repro.perf.substrate`) and reuses it
+across every tenant, optionally fanning the per-conduit solves out over
+a thread pool.  Without scipy the NetworkX reference implementation
+below answers instead.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.fibermap.elements import FiberMap
+from repro.perf.substrate import RoutingSubstrate, resolve_substrate
 from repro.risk.matrix import RiskMatrix
 from repro.risk.metrics import most_shared_conduits
 
@@ -104,17 +114,11 @@ def _risk_graph(fiber_map: FiberMap, exclude: Optional[str] = None) -> nx.Graph:
     return graph
 
 
-def optimize_conduit_for_isp(
-    fiber_map: FiberMap,
-    matrix: RiskMatrix,
-    isp: str,
-    conduit_id: str,
-) -> Optional[SuggestionOutcome]:
-    """Minimum-shared-risk alternate path around one conduit.
-
-    Returns ``None`` when the conduit's endpoints have no alternate
-    connection (a true bridge in the conduit graph).
-    """
+def _optimized_path_reference(
+    fiber_map: FiberMap, conduit_id: str
+) -> Optional[Tuple[Tuple[str, ...], int]]:
+    """NetworkX reference: the min-shared-risk alternate path around one
+    conduit, as ``(conduit_ids, max_risk)``."""
     conduit = fiber_map.conduit(conduit_id)
     graph = _risk_graph(fiber_map, exclude=conduit_id)
     a, b = conduit.edge
@@ -126,13 +130,114 @@ def optimize_conduit_for_isp(
         graph[u][v]["conduit_id"] for u, v in zip(path, path[1:])
     )
     max_risk = max(graph[u][v]["risk"] for u, v in zip(path, path[1:]))
+    return conduits, max_risk
+
+
+def _optimized_path_substrate(
+    fiber_map: FiberMap, conduit_id: str, substrate: RoutingSubstrate
+) -> Optional[Tuple[Tuple[str, ...], int]]:
+    """Substrate fast path: exclusion is an array patch of the cached
+    collapsed conduit view, the solve one CSR Dijkstra."""
+    cs = substrate.conduits
+    view = cs.conduit_view_excluding(conduit_id)
+    a, b = fiber_map.conduit(conduit_id).edge
+    if not view.present(a) or not view.present(b):
+        return None
+    path = view.shortest_path(a, b, "risk")
+    if path is None:
+        return None
+    reps = [
+        int(view.payload["conduit"][view.edge_index(view.nodes[u], view.nodes[v])])
+        for u, v in zip(path, path[1:])
+    ]
+    conduits = tuple(cs.cids[r] for r in reps)
+    max_risk = max(int(cs.tenants[r]) for r in reps)
+    return conduits, max_risk
+
+
+def _optimized_path(
+    fiber_map: FiberMap, conduit_id: str, substrate
+) -> Optional[Tuple[Tuple[str, ...], int]]:
+    resolved = resolve_substrate(fiber_map, substrate)
+    if resolved is None:
+        return _optimized_path_reference(fiber_map, conduit_id)
+    return _optimized_path_substrate(fiber_map, conduit_id, resolved)
+
+
+def optimize_conduit_for_isp(
+    fiber_map: FiberMap,
+    matrix: RiskMatrix,
+    isp: str,
+    conduit_id: str,
+    substrate=None,
+) -> Optional[SuggestionOutcome]:
+    """Minimum-shared-risk alternate path around one conduit.
+
+    Returns ``None`` when the conduit's endpoints have no alternate
+    connection (a true bridge in the conduit graph).
+    """
+    result = _optimized_path(fiber_map, conduit_id, substrate)
+    if result is None:
+        return None
+    conduits, max_risk = result
     return SuggestionOutcome(
         isp=isp,
         conduit_id=conduit_id,
-        original_risk=conduit.num_tenants,
+        original_risk=fiber_map.conduit(conduit_id).num_tenants,
         optimized_conduits=conduits,
         optimized_max_risk=max_risk,
     )
+
+
+def _suggestion_for_isp(
+    fiber_map: FiberMap,
+    isp: str,
+    conduit_ids: Sequence[str],
+    solved: Dict[str, Optional[Tuple[Tuple[str, ...], int]]],
+) -> RobustnessSuggestion:
+    """Assemble one provider's Figure 10 bars from shared solves."""
+    outcomes = []
+    for conduit_id in conduit_ids:
+        conduit = fiber_map.conduit(conduit_id)
+        if isp not in conduit.tenants:
+            continue
+        result = solved[conduit_id]
+        if result is None:
+            continue
+        conduits, max_risk = result
+        outcomes.append(
+            SuggestionOutcome(
+                isp=isp,
+                conduit_id=conduit_id,
+                original_risk=conduit.num_tenants,
+                optimized_conduits=conduits,
+                optimized_max_risk=max_risk,
+            )
+        )
+    return RobustnessSuggestion(isp=isp, outcomes=tuple(outcomes))
+
+
+def _solve_conduits(
+    fiber_map: FiberMap,
+    conduit_ids: Sequence[str],
+    substrate,
+    workers: Optional[int] = None,
+) -> Dict[str, Optional[Tuple[Tuple[str, ...], int]]]:
+    """Each conduit's optimum, solved once (optionally thread-fanned —
+    the CSR Dijkstras release the GIL)."""
+    unique = list(dict.fromkeys(conduit_ids))
+    if workers and workers > 1 and len(unique) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(
+                    lambda cid: _optimized_path(fiber_map, cid, substrate),
+                    unique,
+                )
+            )
+        return dict(zip(unique, results))
+    return {
+        cid: _optimized_path(fiber_map, cid, substrate) for cid in unique
+    }
 
 
 def optimize_isp_around_conduits(
@@ -141,6 +246,7 @@ def optimize_isp_around_conduits(
     isp: str,
     conduit_ids: Optional[Sequence[str]] = None,
     top: int = 12,
+    substrate=None,
 ) -> RobustnessSuggestion:
     """Run the §5.1 optimization for one provider.
 
@@ -150,25 +256,32 @@ def optimize_isp_around_conduits(
     if conduit_ids is None:
         shared = most_shared_conduits(matrix, top=top)
         conduit_ids = [cid for cid, _ in shared]
-    outcomes = []
-    for conduit_id in conduit_ids:
-        conduit = fiber_map.conduit(conduit_id)
-        if isp not in conduit.tenants:
-            continue
-        outcome = optimize_conduit_for_isp(fiber_map, matrix, isp, conduit_id)
-        if outcome is not None:
-            outcomes.append(outcome)
-    return RobustnessSuggestion(isp=isp, outcomes=tuple(outcomes))
+    relevant = [
+        cid for cid in conduit_ids
+        if isp in fiber_map.conduit(cid).tenants
+    ]
+    solved = _solve_conduits(fiber_map, relevant, substrate)
+    return _suggestion_for_isp(fiber_map, isp, conduit_ids, dict(solved))
 
 
 def optimize_all_isps(
     fiber_map: FiberMap,
     matrix: RiskMatrix,
     top: int = 12,
+    substrate=None,
+    workers: Optional[int] = None,
 ) -> Dict[str, RobustnessSuggestion]:
-    """Figure 10: the framework applied to every provider."""
+    """Figure 10: the framework applied to every provider.
+
+    Each target conduit is solved exactly once and the result shared
+    across all its tenants (the per-(ISP, conduit) rebuild of the old
+    implementation did ``len(isps)`` times the work for identical
+    answers).  *workers* > 1 fans the per-conduit solves out over
+    threads.
+    """
     shared = [cid for cid, _ in most_shared_conduits(matrix, top=top)]
+    solved = _solve_conduits(fiber_map, shared, substrate, workers=workers)
     return {
-        isp: optimize_isp_around_conduits(fiber_map, matrix, isp, shared)
+        isp: _suggestion_for_isp(fiber_map, isp, shared, solved)
         for isp in matrix.isps
     }

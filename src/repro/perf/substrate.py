@@ -1,0 +1,735 @@
+"""The shared conduit-graph routing substrate for the §5 / resilience studies.
+
+PR 1's :mod:`repro.perf.routing` arrayified the router-level topology for
+the §4.3 campaign.  This module does the same for the *conduit* layer:
+every §5 mitigation analysis (robustness suggestions, ROW augmentation,
+propagation delay) and the resilience cut studies answer shortest-path
+and connectivity questions over graphs derived from one
+:class:`~repro.fibermap.elements.FiberMap` — and the original code
+rebuilt a ``dict``-of-``dict`` NetworkX graph from scratch inside every
+per-ISP / per-conduit / per-candidate loop.
+
+The substrate compiles the fiber map **once** into int-indexed parallel
+arrays (conduit endpoints, tenant counts, lengths, per-ISP tenancy
+masks) and derives cheap *views* from them:
+
+* a collapsed simple-graph view (parallel conduits reduced to one
+  representative per city pair) with **named weight arrays** — risk
+  (tenant count), ``length_km``, or any caller-supplied weight;
+* **edge masking / overrides**: "exclude this conduit" or "add this
+  private conduit" is an O(1) array edit on a view, not a graph rebuild;
+* **batched multi-source Dijkstra**: one
+  :func:`scipy.sparse.csgraph.dijkstra` call answers every source of a
+  greedy step at once;
+* an array-walk **K-shortest simple paths** (Yen over the CSR core)
+  replacing ``networkx.shortest_simple_paths`` in the §5.3 study;
+* **union-find connectivity** for cumulative cut sequences, so a
+  targeted-attack step costs one reverse union sweep instead of a full
+  per-step graph rebuild.
+
+As with the routing core, scipy is an optional accelerator: without it
+:func:`build_substrate` returns ``None`` and every consumer falls back
+to its NetworkX reference implementation, which the parity suite
+cross-checks against the substrate on randomized fiber maps.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # scipy/numpy are optional accelerators, never hard dependencies.
+    import numpy as np
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    np = None
+    HAVE_SCIPY = False
+
+#: scipy's sentinel for "no predecessor" in predecessor matrices.
+_NO_PREDECESSOR = -9999
+
+
+# ----------------------------------------------------------------------
+# Union-find: incremental connectivity for cut sequences
+# ----------------------------------------------------------------------
+class UnionFind:
+    """Classic disjoint-set forest with path halving and union by size.
+
+    Edges can only be *added*; cumulative cut sequences (which only
+    remove conduits) are therefore processed in reverse, adding each
+    step's severed conduits back while answering that step's
+    connectivity queries (offline decremental connectivity).
+
+    Pure python on ints — no scipy required — so the montecarlo fast
+    path can use it even when the CSR machinery is unavailable.
+    """
+
+    def __init__(self, size: int):
+        self._parent = list(range(size))
+        self._rank = [0] * size
+
+    def find(self, node: int) -> int:
+        parent = self._parent
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+
+# ----------------------------------------------------------------------
+# Graph views: one collapsed simple graph as parallel arrays
+# ----------------------------------------------------------------------
+class GraphView:
+    """A compiled simple undirected graph over a shared node index.
+
+    Nodes are the substrate's global city index (so views never re-hash
+    node keys); edges are parallel arrays ``eu``/``ev`` (int node
+    indices) with named float weight arrays and optional integer payload
+    arrays (e.g. the representative conduit row per edge).  "Node in
+    graph" semantics follow NetworkX: a node is *present* when at least
+    one edge touches it (:meth:`present`).
+    """
+
+    def __init__(
+        self,
+        nodes: List[str],
+        index: Dict[str, int],
+        eu,
+        ev,
+        weights: Dict[str, "np.ndarray"],
+        payload: Optional[Dict[str, "np.ndarray"]] = None,
+    ):
+        if not HAVE_SCIPY:  # pragma: no cover - guarded by build_substrate
+            raise RuntimeError("scipy is required for substrate graph views")
+        self.nodes = nodes
+        self.index = index
+        self.eu = np.asarray(eu, dtype=np.int32)
+        self.ev = np.asarray(ev, dtype=np.int32)
+        self.weights = {k: np.asarray(v, dtype=float) for k, v in weights.items()}
+        self.payload = {
+            k: np.asarray(v) for k, v in (payload or {}).items()
+        }
+        self._edge_of: Dict[Tuple[int, int], int] = {
+            (int(u), int(v)): i
+            for i, (u, v) in enumerate(zip(self.eu, self.ev))
+        }
+        self._incident: Optional["np.ndarray"] = None
+        self._matrices: Dict[str, "csr_matrix"] = {}
+        self._structs: Dict[str, tuple] = {}
+
+    # -- structure -----------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.eu.shape[0])
+
+    def clone(self) -> "GraphView":
+        """A mutable copy sharing the node index (arrays are copied)."""
+        return GraphView(
+            self.nodes,
+            self.index,
+            self.eu.copy(),
+            self.ev.copy(),
+            {k: v.copy() for k, v in self.weights.items()},
+            {k: v.copy() for k, v in self.payload.items()},
+        )
+
+    def _incidence(self) -> "np.ndarray":
+        if self._incident is None:
+            incident = np.zeros(self.num_nodes, dtype=bool)
+            incident[self.eu] = True
+            incident[self.ev] = True
+            self._incident = incident
+        return self._incident
+
+    def present(self, key: str) -> bool:
+        """NetworkX node-membership: the key has at least one edge."""
+        i = self.index.get(key)
+        return i is not None and bool(self._incidence()[i])
+
+    def edge_index(self, a_key: str, b_key: str) -> Optional[int]:
+        ai, bi = self.index.get(a_key), self.index.get(b_key)
+        if ai is None or bi is None:
+            return None
+        return self._edge_of.get((min(ai, bi), max(ai, bi)))
+
+    def upsert_edge(
+        self,
+        a_key: str,
+        b_key: str,
+        order_weight: str,
+        weights: Dict[str, float],
+        payload: Optional[Dict[str, int]] = None,
+    ) -> bool:
+        """Add an edge, or replace an existing one if strictly better.
+
+        Mirrors the "keep the smaller *order_weight*" collapse rule used
+        everywhere in §5: a new parallel edge only displaces the current
+        representative when its weight is strictly smaller.  Returns
+        ``True`` when the view changed.  This is the "add this private
+        conduit" array edit.
+        """
+        ai, bi = self.index[a_key], self.index[b_key]
+        pair = (min(ai, bi), max(ai, bi))
+        existing = self._edge_of.get(pair)
+        if existing is not None:
+            if not weights[order_weight] < float(
+                self.weights[order_weight][existing]
+            ):
+                return False
+            for name, value in weights.items():
+                self.weights[name][existing] = value
+            for name, value in (payload or {}).items():
+                self.payload[name][existing] = value
+        else:
+            self.eu = np.append(self.eu, np.int32(pair[0]))
+            self.ev = np.append(self.ev, np.int32(pair[1]))
+            for name, value in weights.items():
+                self.weights[name] = np.append(self.weights[name], float(value))
+            for name, value in (payload or {}).items():
+                self.payload[name] = np.append(self.payload[name], value)
+            self._edge_of[pair] = self.num_edges - 1
+            self._incident = None
+        self._matrices.clear()
+        self._structs.clear()
+        return True
+
+    # -- shortest paths ------------------------------------------------
+    def matrix(
+        self, weight: str, edge_mask: Optional["np.ndarray"] = None
+    ) -> "csr_matrix":
+        """The symmetric CSR adjacency for one weight view.
+
+        Unmasked matrices are cached; masked ones (Yen spur calls) are
+        rebuilt from the filtered arrays, which at conduit-graph scale
+        is tens of microseconds.
+        """
+        if edge_mask is None and weight in self._matrices:
+            return self._matrices[weight]
+        eu, ev = self.eu, self.ev
+        data = self.weights[weight]
+        if edge_mask is not None:
+            eu, ev, data = eu[edge_mask], ev[edge_mask], data[edge_mask]
+        n = self.num_nodes
+        mat = csr_matrix(
+            (
+                np.concatenate([data, data]),
+                (np.concatenate([eu, ev]), np.concatenate([ev, eu])),
+            ),
+            shape=(n, n),
+        )
+        if edge_mask is None:
+            self._matrices[weight] = mat
+        return mat
+
+    def dijkstra(
+        self,
+        source_keys: Sequence[str],
+        weight: str,
+        edge_mask: Optional["np.ndarray"] = None,
+    ) -> Tuple["np.ndarray", "np.ndarray", Dict[str, int]]:
+        """Batched multi-source Dijkstra: one scipy call for all sources.
+
+        Returns ``(dist, pred, row_of)`` where ``dist``/``pred`` have one
+        row per source and ``row_of`` maps source key to its row.  Keys
+        missing from the node index are silently dropped (callers check
+        :meth:`present` for NetworkX ``NodeNotFound`` semantics).
+        """
+        row_of: Dict[str, int] = {}
+        indices: List[int] = []
+        for key in source_keys:
+            i = self.index.get(key)
+            if i is None or key in row_of:
+                continue
+            row_of[key] = len(indices)
+            indices.append(i)
+        if not indices:
+            empty = np.empty((0, self.num_nodes))
+            return empty, empty.astype(np.int32), row_of
+        dist, pred = _csgraph_dijkstra(
+            self._solver_matrix(weight, edge_mask),
+            directed=True,  # the matrix is symmetric; skips the transpose
+            indices=indices,
+            return_predecessors=True,
+        )
+        return np.atleast_2d(dist), np.atleast_2d(pred), row_of
+
+    def _solver_matrix(self, weight: str, edge_mask: Optional["np.ndarray"]):
+        """The symmetric CSR handed to scipy, with structure caching.
+
+        The sparsity structure (indptr/indices plus the data-position of
+        every edge) is computed once per weight; a masked call (Yen spur)
+        only rewrites the data vector of a scratch copy, setting masked
+        edges to ``inf`` — which Dijkstra never relaxes across, i.e. edge
+        removal without a matrix rebuild.
+        """
+        struct = self._structs.get(weight)
+        if struct is None:
+            n = self.num_nodes
+            edge_ids = np.arange(self.num_edges, dtype=float)
+            mat = csr_matrix(
+                (
+                    np.concatenate([edge_ids, edge_ids]),
+                    (
+                        np.concatenate([self.eu, self.ev]),
+                        np.concatenate([self.ev, self.eu]),
+                    ),
+                ),
+                shape=(n, n),
+            )
+            edge_at_pos = mat.data.astype(np.int64)
+            mat.data = self.weights[weight][edge_at_pos]
+            struct = (mat, edge_at_pos, mat.copy())
+            self._structs[weight] = struct
+        mat, edge_at_pos, scratch = struct
+        if edge_mask is None:
+            return mat
+        scratch.data = np.where(
+            edge_mask[edge_at_pos], self.weights[weight][edge_at_pos], np.inf
+        )
+        return scratch
+
+    def walk(
+        self, pred_row: "np.ndarray", src_idx: int, dst_idx: int
+    ) -> Optional[List[int]]:
+        """Node-index path from the Dijkstra tree root to *dst_idx*.
+
+        ``pred_row`` must be the predecessor row of the source; returns
+        the path ``src -> dst`` or ``None`` when unreachable.
+        """
+        if src_idx == dst_idx:
+            return [src_idx]
+        if pred_row[dst_idx] == _NO_PREDECESSOR:
+            return None
+        out = [dst_idx]
+        node = dst_idx
+        for _ in range(self.num_nodes):
+            node = int(pred_row[node])
+            out.append(node)
+            if node == src_idx:
+                out.reverse()
+                return out
+        return None  # pragma: no cover - cycle guard, unreachable
+
+    def path_length(self, path: Sequence[int], weight: str) -> float:
+        """Sum of edge weights in path order (left-associated, matching
+        ``networkx.path_weight`` / Dijkstra accumulation bit-for-bit)."""
+        total = 0.0
+        weights = self.weights[weight]
+        edge_of = self._edge_of
+        for u, v in zip(path, path[1:]):
+            total += float(weights[edge_of[(min(u, v), max(u, v))]])
+        return total
+
+    def shortest_path(
+        self,
+        a_key: str,
+        b_key: str,
+        weight: str,
+        edge_mask: Optional["np.ndarray"] = None,
+    ) -> Optional[List[int]]:
+        """Single-pair shortest path as node indices, ``None`` if none."""
+        ai, bi = self.index.get(a_key), self.index.get(b_key)
+        if ai is None or bi is None:
+            return None
+        _dist, pred, row_of = self.dijkstra([a_key], weight, edge_mask)
+        return self.walk(pred[row_of[a_key]], ai, bi)
+
+    # -- K shortest simple paths (Yen over the CSR core) ---------------
+    def shortest_simple_paths(
+        self, a_key: str, b_key: str, weight: str
+    ) -> Iterator[Tuple[List[int], float]]:
+        """Simple paths in non-decreasing length, like
+        ``networkx.shortest_simple_paths``.
+
+        Yields ``(node_index_path, length)`` with the length recomputed
+        edge-by-edge in path order — exactly the float the §5.3 study
+        derives from each path, so candidate ordering and downstream
+        arithmetic agree bit-for-bit.
+        """
+        import heapq
+
+        first = self.shortest_path(a_key, b_key, weight)
+        if first is None:
+            raise KeyError(f"no path between {a_key} and {b_key}")
+        accepted: List[List[int]] = []
+        candidates: List[Tuple[float, int, Tuple[int, ...]]] = []
+        seen: set = set()
+        counter = 0
+        heapq.heappush(
+            candidates,
+            (self.path_length(first, weight), counter, tuple(first)),
+        )
+        seen.add(tuple(first))
+        while candidates:
+            length, _, path_t = heapq.heappop(candidates)
+            path = list(path_t)
+            accepted.append(path)
+            yield path, length
+            # Spur from every node of the just-accepted path.
+            for i in range(len(path) - 1):
+                root = path[: i + 1]
+                masked = np.ones(self.num_edges, dtype=bool)
+                # Edges used by accepted paths sharing this root prefix.
+                for prev in accepted:
+                    if prev[: i + 1] == root and len(prev) > i + 1:
+                        idx = self._edge_of.get(
+                            (
+                                min(prev[i], prev[i + 1]),
+                                max(prev[i], prev[i + 1]),
+                            )
+                        )
+                        if idx is not None:
+                            masked[idx] = False
+                # Nodes of the root (except the spur node) are off-limits.
+                if i > 0:
+                    banned = np.zeros(self.num_nodes, dtype=bool)
+                    banned[root[:-1]] = True
+                    masked &= ~(banned[self.eu] | banned[self.ev])
+                spur = self.shortest_path(
+                    self.nodes[root[-1]], b_key, weight, edge_mask=masked
+                )
+                if spur is None:
+                    continue
+                candidate = tuple(root[:-1] + spur)
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                counter += 1
+                heapq.heappush(
+                    candidates,
+                    (self.path_length(candidate, weight), counter, candidate),
+                )
+
+
+# ----------------------------------------------------------------------
+# The conduit substrate: the fiber map compiled once
+# ----------------------------------------------------------------------
+class ConduitSubstrate:
+    """Int-indexed arrays over every conduit of one fiber map.
+
+    Row *i* describes the i-th conduit in sorted-id order: endpoints
+    (global city indices), tenant count, length.  Per-ISP tenancy is a
+    row-index array per provider.  Collapsed :class:`GraphView`\\ s are
+    derived (and cached) from these arrays; the collapse rule — keep the
+    row with the strictly smallest order weight, first-in-id-order on
+    ties — reproduces every NetworkX builder in §4/§5.
+    """
+
+    def __init__(self, fiber_map):
+        if not HAVE_SCIPY:  # pragma: no cover - guarded by build_substrate
+            raise RuntimeError("scipy is required for the routing substrate")
+        self.nodes: List[str] = sorted(fiber_map.nodes)
+        self.index: Dict[str, int] = {k: i for i, k in enumerate(self.nodes)}
+        self.cids: List[str] = sorted(fiber_map.conduits)
+        self.row_of: Dict[str, int] = {c: i for i, c in enumerate(self.cids)}
+        cu, cv, tenants, length = [], [], [], []
+        tenant_sets: List[FrozenSet[str]] = []
+        for cid in self.cids:
+            conduit = fiber_map.conduits[cid]
+            a, b = conduit.edge
+            cu.append(self.index[a])
+            cv.append(self.index[b])
+            tenants.append(conduit.num_tenants)
+            length.append(conduit.length_km)
+            tenant_sets.append(frozenset(conduit.tenants))
+        self.cu = np.asarray(cu, dtype=np.int32)
+        self.cv = np.asarray(cv, dtype=np.int32)
+        self.tenants = np.asarray(tenants, dtype=np.int64)
+        self.length_km = np.asarray(length, dtype=float)
+        self.tenant_sets = tenant_sets
+        self._isp_rows: Dict[str, "np.ndarray"] = {}
+        for isp in sorted({t for s in tenant_sets for t in s}):
+            self._isp_rows[isp] = np.asarray(
+                [i for i, s in enumerate(tenant_sets) if isp in s],
+                dtype=np.int64,
+            )
+        self._views: Dict[object, GraphView] = {}
+
+    @property
+    def num_conduits(self) -> int:
+        return len(self.cids)
+
+    def rows_for_isp(self, isp: str) -> "np.ndarray":
+        """Conduit rows (sorted-id order) the provider occupies."""
+        return self._isp_rows.get(isp, np.empty(0, dtype=np.int64))
+
+    def footprint_cities(self, isp: str) -> set:
+        """City keys touched by the provider's conduits."""
+        rows = self.rows_for_isp(isp)
+        return {self.nodes[i] for i in self.cu[rows]} | {
+            self.nodes[i] for i in self.cv[rows]
+        }
+
+    # -- view construction ---------------------------------------------
+    def build_view(
+        self,
+        rows: "np.ndarray",
+        order: "np.ndarray",
+        weights: Dict[str, "np.ndarray"],
+        payload: Optional[Dict[str, "np.ndarray"]] = None,
+        cache_key: Optional[object] = None,
+    ) -> GraphView:
+        """Collapse *rows* (aligned with *order*/weights/payload arrays)
+        into a simple-graph view: per city pair, the row with the
+        strictly smallest order weight wins, first in *rows* order on
+        ties (NetworkX ``data is None or w < data[...]`` semantics)."""
+        if cache_key is not None:
+            cached = self._views.get(cache_key)
+            if cached is not None:
+                return cached
+        best: Dict[Tuple[int, int], int] = {}
+        cu, cv = self.cu, self.cv
+        for pos in range(len(rows)):
+            row = rows[pos]
+            pair = (int(cu[row]), int(cv[row]))
+            held = best.get(pair)
+            if held is None or order[pos] < order[held]:
+                best[pair] = pos
+        keep = np.asarray(sorted(best.values()), dtype=np.int64)
+        view = GraphView(
+            self.nodes,
+            self.index,
+            cu[rows[keep]] if len(keep) else np.empty(0, dtype=np.int32),
+            cv[rows[keep]] if len(keep) else np.empty(0, dtype=np.int32),
+            {k: v[keep] for k, v in weights.items()},
+            {
+                "conduit": rows[keep],
+                **{k: v[keep] for k, v in (payload or {}).items()},
+            },
+        )
+        if cache_key is not None:
+            self._views[cache_key] = view
+        return view
+
+    def conduit_view(self) -> GraphView:
+        """The collapsed conduit graph: min-tenant representative per
+        pair, with ``risk`` and ``length_km`` weight views.
+
+        Reproduces both ``FiberMap.simple_conduit_graph()`` and the
+        robustness ``_risk_graph`` (they share the same collapse).
+        """
+        rows = np.arange(self.num_conduits, dtype=np.int64)
+        return self.build_view(
+            rows,
+            self.tenants,
+            {
+                "risk": self.tenants.astype(float),
+                "length_km": self.length_km,
+            },
+            cache_key="conduit",
+        )
+
+    def conduit_view_excluding(self, conduit_id: str) -> GraphView:
+        """The conduit view with one conduit barred from use.
+
+        When the excluded conduit is not its pair's representative the
+        base view already avoids it; otherwise the next-best parallel
+        conduit takes over (or the pair edge disappears) — an O(parallel)
+        patch of the cached base view, not a rebuild.
+        """
+        base = self.conduit_view()
+        row = self.row_of[conduit_id]
+        edge_pos = None
+        for pos, rep in enumerate(base.payload["conduit"]):
+            if int(rep) == row:
+                edge_pos = pos
+                break
+        if edge_pos is None:
+            return base
+        pair = (int(self.cu[row]), int(self.cv[row]))
+        replacement = None
+        for other in range(self.num_conduits):
+            if other == row:
+                continue
+            if (int(self.cu[other]), int(self.cv[other])) != pair:
+                continue
+            if replacement is None or self.tenants[other] < self.tenants[replacement]:
+                replacement = other
+        mask = np.ones(base.num_edges, dtype=bool)
+        if replacement is None:
+            mask[edge_pos] = False
+            return GraphView(
+                self.nodes,
+                self.index,
+                base.eu[mask],
+                base.ev[mask],
+                {k: v[mask] for k, v in base.weights.items()},
+                {k: v[mask] for k, v in base.payload.items()},
+            )
+        view = base.clone()
+        view.weights["risk"][edge_pos] = float(self.tenants[replacement])
+        view.weights["length_km"][edge_pos] = self.length_km[replacement]
+        view.payload["conduit"][edge_pos] = replacement
+        return view
+
+    def surviving_footprint_view(
+        self, isp: str, dead_rows: Optional[set] = None
+    ) -> GraphView:
+        """The provider's conduit graph minus *dead_rows*, collapsed to
+        the shortest parallel conduit (the impact module's graph)."""
+        rows = self.rows_for_isp(isp)
+        if dead_rows:
+            rows = np.asarray(
+                [r for r in rows if int(r) not in dead_rows], dtype=np.int64
+            )
+        order = self.length_km[rows]
+        return self.build_view(
+            rows,
+            order,
+            {"length_km": order},
+            cache_key=("survivors", isp) if not dead_rows else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Transportation-network views (§5.2 candidates / §5.3 ROW paths)
+# ----------------------------------------------------------------------
+def compile_transport_view(network, kinds: Optional[Iterable[str]]) -> GraphView:
+    """One kind-restricted right-of-way graph, compiled once.
+
+    Reproduces ``TransportationNetwork._subgraph_for_kinds`` — per edge,
+    the shortest covering geometry among the allowed kinds — which the
+    NetworkX path rebuilt on *every* ``row_shortest_path`` call.
+    """
+    if not HAVE_SCIPY:  # pragma: no cover - guarded by build_substrate
+        raise RuntimeError("scipy is required for the routing substrate")
+    nodes = sorted(network.graph.nodes)
+    index = {k: i for i, k in enumerate(nodes)}
+    kind_set = frozenset(kinds) if kinds is not None else None
+    eu, ev, lengths = [], [], []
+    for record in network.edges():
+        if kind_set is None:
+            length = record.length_km
+        else:
+            usable = record.kinds & kind_set
+            if not usable:
+                continue
+            length = min(
+                record.geometries[name].length_km
+                for name in record.corridor_names
+                if record.kind_of[name] in usable
+            )
+        eu.append(index[record.edge[0]])
+        ev.append(index[record.edge[1]])
+        lengths.append(length)
+    return GraphView(
+        nodes,
+        index,
+        np.asarray(eu, dtype=np.int32),
+        np.asarray(ev, dtype=np.int32),
+        {"length_km": np.asarray(lengths, dtype=float)},
+    )
+
+
+# ----------------------------------------------------------------------
+# The substrate facade
+# ----------------------------------------------------------------------
+class RoutingSubstrate:
+    """Everything the §5 + resilience analyses need, compiled once.
+
+    ``conduits`` holds the fiber-map arrays and views; ``row_view``
+    serves compiled right-of-way graphs per infrastructure-kind set
+    (compiled on attach, so a pickled substrate carries its transport
+    views without referencing the network object itself).
+    """
+
+    #: Kind sets pre-compiled when a network is attached (§5.3 uses
+    #: "new conduit along existing roads or railways").
+    DEFAULT_ROW_KINDS: Tuple[Tuple[str, ...], ...] = (("road", "rail"),)
+
+    def __init__(self, fiber_map, network=None):
+        self.conduits = ConduitSubstrate(fiber_map)
+        self._row_views: Dict[FrozenSet[str], GraphView] = {}
+        if network is not None:
+            self.attach_network(network)
+
+    def attach_network(self, network) -> None:
+        """Compile right-of-way views for the default kind sets."""
+        for kinds in self.DEFAULT_ROW_KINDS:
+            key = frozenset(kinds)
+            if key not in self._row_views:
+                self._row_views[key] = compile_transport_view(network, kinds)
+
+    def row_view(self, kinds: Iterable[str]) -> Optional[GraphView]:
+        """The compiled ROW graph for a kind set, if pre-compiled."""
+        return self._row_views.get(frozenset(kinds))
+
+    @property
+    def has_row_views(self) -> bool:
+        return bool(self._row_views)
+
+
+def build_substrate(fiber_map, network=None) -> Optional[RoutingSubstrate]:
+    """A :class:`RoutingSubstrate` over *fiber_map*, or ``None`` without
+    scipy (callers then take their NetworkX reference path)."""
+    if not HAVE_SCIPY:
+        return None
+    return RoutingSubstrate(fiber_map, network=network)
+
+
+#: One substrate per live fiber map: analyses that are handed a bare
+#: ``FiberMap`` (tests, examples, CLI one-offs) share the compiled
+#: arrays without any scenario plumbing.
+_SUBSTRATES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def substrate_for(fiber_map, network=None) -> Optional[RoutingSubstrate]:
+    """The memoized substrate for a fiber map (``None`` without scipy).
+
+    If a cached substrate lacks transport views and a network is now
+    available, the views are compiled and attached in place.
+    """
+    if not HAVE_SCIPY:
+        return None
+    substrate = _SUBSTRATES.get(fiber_map)
+    if substrate is None:
+        substrate = RoutingSubstrate(fiber_map, network=network)
+        _SUBSTRATES[fiber_map] = substrate
+    elif network is not None and not substrate.has_row_views:
+        substrate.attach_network(network)
+    return substrate
+
+
+def resolve_substrate(
+    fiber_map, substrate, network=None
+) -> Optional[RoutingSubstrate]:
+    """The substrate a §5/resilience entry point should use.
+
+    ``None`` (the default) auto-builds via :func:`substrate_for`;
+    ``False`` forces the NetworkX reference implementation (used by the
+    parity suite); an explicit instance is passed through.
+    """
+    if substrate is None:
+        return substrate_for(fiber_map, network=network)
+    if substrate is False:
+        return None
+    return substrate

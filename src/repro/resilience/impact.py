@@ -16,6 +16,7 @@ import networkx as nx
 
 from repro.fibermap.elements import FiberMap
 from repro.geo.coords import fiber_delay_ms
+from repro.perf.substrate import RoutingSubstrate, resolve_substrate
 from repro.resilience.cuts import CutEvent
 from repro.traceroute.overlay import TrafficOverlay
 from repro.transport.network import EdgeKey
@@ -81,12 +82,86 @@ def _surviving_graph(fiber_map: FiberMap, isp: str, event: CutEvent) -> nx.Graph
     return graph
 
 
+def probes_crossing(traffic: Dict[str, object], conduit_ids) -> int:
+    """Probe traffic that crossed the given conduits (overlay units)."""
+    probes = 0
+    for conduit_id in conduit_ids:
+        item = traffic.get(conduit_id)
+        if item is not None:
+            probes += item.total
+    return probes
+
+
+def _reroute_stats(
+    fiber_map: FiberMap,
+    isp: str,
+    event: CutEvent,
+    hit_links,
+    substrate: Optional[RoutingSubstrate],
+) -> Tuple[int, List[float]]:
+    """Disconnected-pair count and reroute delays for one provider."""
+    if substrate is None:
+        survivors = _surviving_graph(fiber_map, isp, event)
+
+        def rerouted(a: str, b: str) -> Optional[float]:
+            try:
+                return nx.shortest_path_length(
+                    survivors, a, b, weight="length_km"
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                return None
+
+    else:
+        conduits = substrate.conduits
+        dead_rows = {
+            conduits.row_of[cid]
+            for cid in event.conduit_ids
+            if cid in conduits.row_of
+        }
+        view = conduits.surviving_footprint_view(isp, dead_rows)
+        dist_pack = view.dijkstra(
+            [link.endpoints[0] for link in hit_links], "length_km"
+        )
+
+        def rerouted(a: str, b: str) -> Optional[float]:
+            if not view.present(a) or not view.present(b):
+                return None
+            dist, _pred, row_of = dist_pack
+            km = float(dist[row_of[a], view.index[b]])
+            if km == float("inf"):
+                return None
+            return km
+
+    disconnected = 0
+    delays: List[float] = []
+    for link in hit_links:
+        a, b = link.endpoints
+        original_km = sum(
+            fiber_map.conduit(cid).length_km for cid in link.conduit_ids
+        )
+        rerouted_km = rerouted(a, b)
+        if rerouted_km is None:
+            disconnected += 1
+            continue
+        delays.append(
+            max(0.0, fiber_delay_ms(rerouted_km) - fiber_delay_ms(original_km))
+        )
+    return disconnected, delays
+
+
 def assess_cut(
     fiber_map: FiberMap,
     event: CutEvent,
     overlay: Optional[TrafficOverlay] = None,
+    substrate=None,
 ) -> CutImpact:
-    """Assess one cut event across every tenant of the severed conduits."""
+    """Assess one cut event across every tenant of the severed conduits.
+
+    On the routing substrate each provider's reroute distances come from
+    one batched Dijkstra over its surviving-footprint view; without
+    scipy the per-link NetworkX solves answer instead.
+    """
+    resolved = resolve_substrate(fiber_map, substrate)
     tenants = set()
     for conduit_id in event.conduit_ids:
         tenants |= fiber_map.conduit(conduit_id).tenants
@@ -100,24 +175,9 @@ def assess_cut(
         if not hit_links:
             per_isp.append(IspImpact(isp, 0, 0, 0.0, 0.0))
             continue
-        survivors = _surviving_graph(fiber_map, isp, event)
-        disconnected = 0
-        delays: List[float] = []
-        for link in hit_links:
-            a, b = link.endpoints
-            original_km = sum(
-                fiber_map.conduit(cid).length_km for cid in link.conduit_ids
-            )
-            try:
-                rerouted_km = nx.shortest_path_length(
-                    survivors, a, b, weight="length_km"
-                )
-            except (nx.NetworkXNoPath, nx.NodeNotFound):
-                disconnected += 1
-                continue
-            delays.append(
-                max(0.0, fiber_delay_ms(rerouted_km) - fiber_delay_ms(original_km))
-            )
+        disconnected, delays = _reroute_stats(
+            fiber_map, isp, event, hit_links, resolved
+        )
         per_isp.append(
             IspImpact(
                 isp=isp,
@@ -131,9 +191,5 @@ def assess_cut(
         )
     probes = 0
     if overlay is not None:
-        traffic = overlay.traffic()
-        for conduit_id in event.conduit_ids:
-            item = traffic.get(conduit_id)
-            if item is not None:
-                probes += item.total
+        probes = probes_crossing(overlay.traffic(), event.conduit_ids)
     return CutImpact(event=event, per_isp=tuple(per_isp), probes_affected=probes)

@@ -15,8 +15,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fibermap.elements import FiberMap
+from repro.perf.substrate import UnionFind, resolve_substrate
 from repro.resilience.cuts import CutEvent, edge_cut
-from repro.resilience.impact import CutImpact, assess_cut
+from repro.resilience.impact import CutImpact, assess_cut, probes_crossing
 from repro.risk.matrix import RiskMatrix
 from repro.traceroute.overlay import TrafficOverlay
 from repro.transport.network import EdgeKey
@@ -36,12 +37,18 @@ class AttackResult:
     probes_affected: Tuple[int, ...]
 
 
-def _apply_sequence(
+def _apply_sequence_reference(
     fiber_map: FiberMap,
     edges: Sequence[EdgeKey],
     overlay: Optional[TrafficOverlay],
 ) -> AttackResult:
-    """Assess a sequence of ROW cuts with cumulative conduit removal."""
+    """Assess a sequence of ROW cuts with cumulative conduit removal.
+
+    One :func:`assess_cut` per step; the per-step probe count comes from
+    the overlay's traffic table directly instead of a second full
+    assessment of the single-edge event.
+    """
+    traffic = overlay.traffic() if overlay is not None else None
     events: List[CutEvent] = []
     dead: set = set()
     cumulative_disconnected: List[int] = []
@@ -56,15 +63,15 @@ def _apply_sequence(
             conduit_ids=frozenset(dead),
             location=event.location,
         )
-        impact = assess_cut(fiber_map, combined, overlay)
+        impact = assess_cut(fiber_map, combined, substrate=False)
         events.append(event)
         cumulative_disconnected.append(impact.total_pairs_disconnected)
         cumulative_isps.append(
             sum(1 for i in impact.per_isp if i.pairs_disconnected > 0)
         )
         probes.append(
-            assess_cut(fiber_map, event, overlay).probes_affected
-            if overlay is not None
+            probes_crossing(traffic, event.conduit_ids)
+            if traffic is not None
             else 0
         )
     return AttackResult(
@@ -75,11 +82,128 @@ def _apply_sequence(
     )
 
 
+def _apply_sequence_substrate(
+    fiber_map: FiberMap,
+    edges: Sequence[EdgeKey],
+    overlay: Optional[TrafficOverlay],
+    substrate,
+) -> AttackResult:
+    """Cumulative-cut assessment via offline decremental connectivity.
+
+    Cuts only ever remove conduits, so the cumulative step sequence is
+    processed **in reverse** per provider: start from the footprint that
+    survives every cut, then union conduit rows back in as steps rewind.
+    Each provider therefore costs one union-find sweep over its rows
+    instead of one shortest-path solve per hit link per step.
+    """
+    conduits = substrate.conduits
+    traffic = overlay.traffic() if overlay is not None else None
+    events: List[CutEvent] = []
+    death_step: Dict[int, int] = {}
+    running_tenants: set = set()
+    step_tenants: List[set] = []
+    probes: List[int] = []
+    for step, edge in enumerate(edges):
+        event = edge_cut(fiber_map, *edge)
+        events.append(event)
+        for cid in event.conduit_ids:
+            row = conduits.row_of.get(cid)
+            if row is not None:
+                death_step.setdefault(row, step)
+            running_tenants |= fiber_map.conduit(cid).tenants
+        step_tenants.append(set(running_tenants))
+        probes.append(
+            probes_crossing(traffic, event.conduit_ids)
+            if traffic is not None
+            else 0
+        )
+    num_steps = len(edges)
+    n = len(conduits.nodes)
+    disconnected: List[Dict[str, int]] = [{} for _ in range(num_steps)]
+    for isp in sorted(running_tenants):
+        rows = [int(r) for r in conduits.rows_for_isp(isp)]
+        link_info: List[Tuple[int, Tuple[str, str]]] = []
+        first_step = num_steps
+        for link in fiber_map.links_of(isp):
+            hit = min(
+                (
+                    death_step[conduits.row_of[cid]]
+                    for cid in link.conduit_ids
+                    if conduits.row_of.get(cid) in death_step
+                ),
+                default=None,
+            )
+            if hit is not None:
+                link_info.append((hit, link.endpoints))
+                first_step = min(first_step, hit)
+        if not link_info:
+            continue
+        union = UnionFind(n)
+        incident = [0] * n
+        def add_row(row: int) -> None:
+            ia = int(conduits.cu[row])
+            ib = int(conduits.cv[row])
+            incident[ia] += 1
+            incident[ib] += 1
+            union.union(ia, ib)
+        revive: Dict[int, List[int]] = {}
+        for row in rows:
+            died = death_step.get(row)
+            if died is None:
+                add_row(row)
+            else:
+                revive.setdefault(died, []).append(row)
+        for k in range(num_steps - 1, first_step - 1, -1):
+            count = 0
+            for hit, (a, b) in link_info:
+                if hit > k:
+                    continue
+                ia = conduits.index[a]
+                ib = conduits.index[b]
+                if (
+                    incident[ia] == 0
+                    or incident[ib] == 0
+                    or not union.connected(ia, ib)
+                ):
+                    count += 1
+            disconnected[k][isp] = count
+            for row in revive.get(k, ()):
+                add_row(row)
+    cumulative_disconnected = []
+    cumulative_isps = []
+    for k in range(num_steps):
+        per_isp = [
+            disconnected[k].get(isp, 0) for isp in sorted(step_tenants[k])
+        ]
+        cumulative_disconnected.append(sum(per_isp))
+        cumulative_isps.append(sum(1 for c in per_isp if c > 0))
+    return AttackResult(
+        events=tuple(events),
+        cumulative_disconnected=tuple(cumulative_disconnected),
+        cumulative_isps_harmed=tuple(cumulative_isps),
+        probes_affected=tuple(probes),
+    )
+
+
+def _apply_sequence(
+    fiber_map: FiberMap,
+    edges: Sequence[EdgeKey],
+    overlay: Optional[TrafficOverlay],
+    substrate=None,
+) -> AttackResult:
+    """Assess a sequence of ROW cuts with cumulative conduit removal."""
+    resolved = resolve_substrate(fiber_map, substrate)
+    if resolved is None:
+        return _apply_sequence_reference(fiber_map, edges, overlay)
+    return _apply_sequence_substrate(fiber_map, edges, overlay, resolved)
+
+
 def targeted_attack(
     fiber_map: FiberMap,
     matrix: RiskMatrix,
     cuts: int = 5,
     overlay: Optional[TrafficOverlay] = None,
+    substrate=None,
 ) -> AttackResult:
     """Sever the most-shared rights-of-way, worst first."""
     if cuts <= 0:
@@ -90,7 +214,7 @@ def targeted_attack(
         by_edge[conduit.edge] = max(by_edge.get(conduit.edge, 0), count)
     ranked = sorted(by_edge.items(), key=lambda kv: (-kv[1], kv[0]))
     edges = [edge for edge, _ in ranked[:cuts]]
-    return _apply_sequence(fiber_map, edges, overlay)
+    return _apply_sequence(fiber_map, edges, overlay, substrate=substrate)
 
 
 def random_cut_study(
@@ -99,6 +223,7 @@ def random_cut_study(
     trials: int = 10,
     seed: int = 13,
     overlay: Optional[TrafficOverlay] = None,
+    substrate=None,
 ) -> List[AttackResult]:
     """Repeated random ROW cut sequences, for baseline comparison."""
     if cuts <= 0 or trials <= 0:
@@ -108,7 +233,9 @@ def random_cut_study(
     results = []
     for _ in range(trials):
         edges = rng.sample(all_edges, min(cuts, len(all_edges)))
-        results.append(_apply_sequence(fiber_map, edges, overlay))
+        results.append(
+            _apply_sequence(fiber_map, edges, overlay, substrate=substrate)
+        )
     return results
 
 

@@ -25,12 +25,7 @@ def hamming_distance(matrix: RiskMatrix, isp_a: str, isp_b: str) -> int:
 def hamming_distance_matrix(matrix: RiskMatrix) -> np.ndarray:
     """Pairwise Hamming distances (Figure 8 heat map), ISP order preserved."""
     rows = np.stack([matrix.row(isp) for isp in matrix.isps])
-    n = rows.shape[0]
-    result = np.zeros((n, n), dtype=int)
-    for i in range(n):
-        diffs = (rows != rows[i]).sum(axis=1)
-        result[i] = diffs
-    return result
+    return (rows[:, None, :] != rows[None, :, :]).sum(axis=-1).astype(int)
 
 
 def risk_profile_similarity(matrix: RiskMatrix) -> List[Tuple[str, float]]:

@@ -46,6 +46,7 @@ from repro.perf.cache import (
     normalize_cache_setting,
     resolve_cache,
 )
+from repro.perf.substrate import RoutingSubstrate, build_substrate
 from repro.risk.matrix import RiskMatrix
 from repro.traceroute.campaign import CampaignConfig, run_campaign
 from repro.traceroute.geolocate import GeolocationDatabase
@@ -165,6 +166,13 @@ def _build_risk_matrix(ctx: StageContext) -> RiskMatrix:
     )
 
 
+def _build_substrate(ctx: StageContext) -> Optional[RoutingSubstrate]:
+    fiber_map, _ = ctx.dep("constructed_map")
+    return build_substrate(
+        fiber_map, network=ctx.dep("ground_truth").network
+    )
+
+
 #: The declared dataflow of one scenario, in paper order.
 STAGES: Tuple[StageDef, ...] = (
     StageDef(
@@ -220,6 +228,12 @@ STAGES: Tuple[StageDef, ...] = (
         deps=("constructed_map", "ground_truth"),
         doc="the §4.1 ISP x conduit shared-risk matrix",
     ),
+    StageDef(
+        "substrate", _build_substrate,
+        deps=("constructed_map", "ground_truth"),
+        persist=True, cache_params=("seed",),
+        doc="the compiled §5/resilience routing substrate (CSR arrays)",
+    ),
 )
 
 #: Facade attribute -> backing stage.  Derived views (``network``,
@@ -240,6 +254,7 @@ STAGE_OF_ATTRIBUTE: Dict[str, str] = {
     "geolocation": "geolocation",
     "overlay": "overlay",
     "risk_matrix": "risk_matrix",
+    "substrate": "substrate",
 }
 
 
@@ -382,6 +397,13 @@ class Scenario:
     def risk_matrix(self) -> RiskMatrix:
         """The §4.1 risk matrix over the 20 studied providers."""
         return self.graph.materialize("risk_matrix")
+
+    @property
+    def substrate(self) -> Optional[RoutingSubstrate]:
+        """The compiled routing substrate the §5 mitigation and
+        resilience analyses run on (``None`` without scipy — the
+        analyses then take their NetworkX reference paths)."""
+        return self.graph.materialize("substrate")
 
     @property
     def isps(self) -> Tuple[str, ...]:

@@ -1,0 +1,278 @@
+"""Parity suite: the CSR routing substrate vs the NetworkX reference.
+
+Every §5/resilience entry point accepts ``substrate=False`` to force the
+NetworkX reference implementation; these tests run both code paths over
+randomized fiber maps (parallel conduits, multi-hop links, disconnected
+providers included) and require exact equality — distances, enumerated
+path lengths, cut impacts, greedy augmentation choices.  The substrate
+is only an optimization if this suite can never tell it apart from the
+reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.fibermap.elements import FiberMap
+from repro.geo.coords import GeoPoint
+from repro.geo.polyline import Polyline
+from repro.mitigation.augmentation import improvement_curve
+from repro.mitigation.latency import latency_study
+from repro.mitigation.robustness import optimize_all_isps
+from repro.perf.substrate import HAVE_SCIPY, build_substrate
+from repro.resilience.cuts import edge_cut
+from repro.resilience.impact import assess_cut
+from repro.resilience.montecarlo import random_cut_study, targeted_attack
+from repro.risk.matrix import RiskMatrix
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="the routing substrate requires scipy"
+)
+
+SEEDS = (7, 23, 101)
+
+
+def _random_fiber_map(
+    seed: int,
+    cities: int = 14,
+    extra_conduits: int = 12,
+    isps: tuple = ("AlphaNet", "BetaCom", "GammaLink"),
+    links_per_isp: int = 6,
+) -> FiberMap:
+    """A connected random map with parallel conduits and multi-hop links."""
+    rng = random.Random(seed)
+    fiber_map = FiberMap()
+    names = [f"City{i:02d}" for i in range(cities)]
+    points = {
+        name: GeoPoint(
+            30.0 + 0.6 * i + rng.random(), -110.0 + 1.1 * (i % 5) + rng.random()
+        )
+        for i, name in enumerate(names)
+    }
+    # A shuffled spanning chain keeps the conduit graph connected; extra
+    # edges (some parallel) exercise the collapse rule.
+    order = names[:]
+    rng.shuffle(order)
+    edges = list(zip(order, order[1:]))
+    for _ in range(extra_conduits):
+        a, b = rng.sample(names, 2)
+        edges.append((a, b))
+    adjacency: dict = {}
+    for a, b in edges:
+        copies = 2 if rng.random() < 0.3 else 1
+        for _ in range(copies):
+            conduit = fiber_map.add_conduit(
+                a, b, row_id=f"row-{a}-{b}",
+                geometry=Polyline([points[a], points[b]]),
+            )
+            adjacency.setdefault(a, {}).setdefault(b, []).append(
+                conduit.conduit_id
+            )
+            adjacency.setdefault(b, {}).setdefault(a, []).append(
+                conduit.conduit_id
+            )
+    walk = nx.Graph((a, b) for a, b in edges)
+    for isp in isps:
+        for _ in range(links_per_isp):
+            a, b = rng.sample(names, 2)
+            path = nx.shortest_path(walk, a, b)
+            if len(path) < 2:
+                continue
+            cids = [
+                rng.choice(adjacency[u][v]) for u, v in zip(path, path[1:])
+            ]
+            fiber_map.add_link(isp, path, cids)
+    return fiber_map
+
+
+class TestGraphViewParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_pairs_distances_match_networkx(self, seed):
+        fiber_map = _random_fiber_map(seed)
+        view = build_substrate(fiber_map).conduits.conduit_view()
+        graph = fiber_map.simple_conduit_graph()
+        dist, _pred, row_of = view.dijkstra(view.nodes, "length_km")
+        for a in view.nodes:
+            expected = nx.single_source_dijkstra_path_length(
+                graph, a, weight="length_km"
+            )
+            for b in view.nodes:
+                got = float(dist[row_of[a], view.index[b]])
+                if b in expected:
+                    assert got == expected[b], (a, b)
+                else:
+                    assert got == float("inf"), (a, b)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exclusion_matches_rebuilt_risk_graph(self, seed):
+        from repro.mitigation.robustness import _risk_graph
+
+        fiber_map = _random_fiber_map(seed)
+        substrate = build_substrate(fiber_map)
+        for cid in sorted(fiber_map.conduits)[::3]:
+            view = substrate.conduits.conduit_view_excluding(cid)
+            graph = _risk_graph(fiber_map, exclude=cid)
+            a, b = fiber_map.conduit(cid).edge
+            try:
+                expected = nx.shortest_path_length(graph, a, b, weight="risk")
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                expected = None
+            if expected is None:
+                assert (
+                    not view.present(a)
+                    or not view.present(b)
+                    or view.shortest_path(a, b, "risk") is None
+                )
+                continue
+            path = view.shortest_path(a, b, "risk")
+            assert path is not None
+            assert view.path_length(path, "risk") == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_k_shortest_path_lengths_match_networkx(self, seed):
+        fiber_map = _random_fiber_map(seed)
+        view = build_substrate(fiber_map).conduits.conduit_view()
+        graph = fiber_map.simple_conduit_graph()
+        rng = random.Random(seed + 1)
+        nodes = sorted(graph.nodes)
+        for _ in range(6):
+            a, b = rng.sample(nodes, 2)
+            if not nx.has_path(graph, a, b):
+                continue
+            reference = []
+            for path in nx.shortest_simple_paths(
+                graph, a, b, weight="length_km"
+            ):
+                reference.append(
+                    sum(
+                        graph[u][v]["length_km"]
+                        for u, v in zip(path, path[1:])
+                    )
+                )
+                if len(reference) >= 5:
+                    break
+            lengths = []
+            for _path, km in view.shortest_simple_paths(a, b, "length_km"):
+                lengths.append(km)
+                if len(lengths) >= 5:
+                    break
+            assert lengths == reference, (a, b)
+
+
+class TestAnalysisParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_robustness_suggestions_equivalent(self, seed):
+        # Random maps have many equal-risk-sum alternate paths and the
+        # two Dijkstra implementations break such ties differently, so
+        # the tie-independent facts are compared: which (isp, conduit)
+        # pairs get a suggestion, the original risk, and the minimized
+        # objective (total shared risk of the optimized path).
+        def path_risk(outcome):
+            return sum(
+                fiber_map.conduit(c).num_tenants
+                for c in outcome.optimized_conduits
+            )
+
+        fiber_map = _random_fiber_map(seed)
+        matrix = RiskMatrix(fiber_map, isps=fiber_map.isps())
+        substrate = build_substrate(fiber_map)
+        reference = optimize_all_isps(fiber_map, matrix, top=8, substrate=False)
+        fast = optimize_all_isps(fiber_map, matrix, top=8, substrate=substrate)
+        assert sorted(fast) == sorted(reference)
+        for isp in reference:
+            ref_outcomes = {o.conduit_id: o for o in reference[isp].outcomes}
+            fast_outcomes = {o.conduit_id: o for o in fast[isp].outcomes}
+            assert sorted(fast_outcomes) == sorted(ref_outcomes), isp
+            for cid, ref_outcome in ref_outcomes.items():
+                fast_outcome = fast_outcomes[cid]
+                assert fast_outcome.original_risk == ref_outcome.original_risk
+                assert path_risk(fast_outcome) == path_risk(ref_outcome)
+        # Substrate vs substrate (thread fan-out) is exactly equal.
+        fanned = optimize_all_isps(
+            fiber_map, matrix, top=8, substrate=substrate, workers=4
+        )
+        assert fanned == fast
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_assess_cut_identical(self, seed):
+        fiber_map = _random_fiber_map(seed)
+        substrate = build_substrate(fiber_map)
+        edges = sorted({c.edge for c in fiber_map.conduits.values()})
+        rng = random.Random(seed + 2)
+        for edge in rng.sample(edges, min(6, len(edges))):
+            event = edge_cut(fiber_map, *edge)
+            reference = assess_cut(fiber_map, event, substrate=False)
+            fast = assess_cut(fiber_map, event, substrate=substrate)
+            assert fast == reference
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_attack_sequences_identical(self, seed):
+        fiber_map = _random_fiber_map(seed)
+        matrix = RiskMatrix(fiber_map, isps=fiber_map.isps())
+        substrate = build_substrate(fiber_map)
+        reference = targeted_attack(fiber_map, matrix, cuts=5, substrate=False)
+        fast = targeted_attack(fiber_map, matrix, cuts=5, substrate=substrate)
+        assert fast == reference
+        reference_runs = random_cut_study(
+            fiber_map, cuts=4, trials=4, seed=seed, substrate=False
+        )
+        fast_runs = random_cut_study(
+            fiber_map, cuts=4, trials=4, seed=seed, substrate=substrate
+        )
+        assert fast_runs == reference_runs
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_improvement_curves_identical(self, seed):
+        fiber_map = _random_fiber_map(seed)
+        substrate = build_substrate(fiber_map)
+        rng = random.Random(seed + 3)
+        used = {c.edge for c in fiber_map.conduits.values()}
+        nodes = sorted(fiber_map.nodes)
+        candidates = []
+        while len(candidates) < 10:
+            a, b = sorted(rng.sample(nodes, 2))
+            if (a, b) not in used:
+                candidates.append(((a, b), 100.0 + 50.0 * rng.random()))
+                used.add((a, b))
+        for isp in fiber_map.isps():
+            reference = improvement_curve(
+                fiber_map, None, isp, max_k=4,
+                candidates=candidates, substrate=False,
+            )
+            fast = improvement_curve(
+                fiber_map, None, isp, max_k=4,
+                candidates=candidates, substrate=substrate,
+            )
+            assert fast == reference, isp
+
+
+class TestScenarioParity:
+    """Parity on the realistic session map (latency needs a network)."""
+
+    def test_latency_study_identical(self, scenario, built_map, network):
+        reference = latency_study(
+            built_map, network, max_pairs=40, substrate=False
+        )
+        fast = latency_study(
+            built_map, network, max_pairs=40, substrate=scenario.substrate
+        )
+        assert fast == reference
+
+    def test_hamming_matrix_matches_pairwise(self, risk_matrix):
+        import numpy as np
+
+        from repro.risk.hamming import hamming_distance, hamming_distance_matrix
+
+        distances = hamming_distance_matrix(risk_matrix)
+        names = risk_matrix.isps
+        for i in range(0, len(names), 5):
+            for j in range(0, len(names), 5):
+                assert distances[i, j] == hamming_distance(
+                    risk_matrix, names[i], names[j]
+                )
+        assert distances.dtype == np.dtype(int) or np.issubdtype(
+            distances.dtype, np.integer
+        )
