@@ -1,16 +1,40 @@
-"""Benchmark: raw campaign throughput on the array routing core.
+"""Benchmark: raw campaign throughput on the columnar pipeline.
 
-Times one full ``run_campaign`` over the benchmark topology.  Size and
-worker count come from ``REPRO_BENCH_TRACES`` / ``REPRO_BENCH_WORKERS``,
-so CI can run a reduced smoke pass and local runs can push toward the
-paper's 4.9M-trace scale.
+Times one full ``run_campaign`` (now returning a
+:class:`~repro.traceroute.columns.TraceColumns` store) over the
+benchmark topology, then a larger tier as a stepping stone toward the
+paper's 4.9M-trace scale.  Knobs, all environment variables so CI can
+run a reduced smoke pass:
+
+``REPRO_BENCH_TRACES``        base-tier size (default 20000)
+``REPRO_BENCH_TRACES_LARGE``  large-tier size (default 200000; 0 skips)
+``REPRO_BENCH_WORKERS``       campaign worker processes (default 1)
+``REPRO_BENCH_MIN_RPS``       records/second floor the base tier must
+                              clear (default 0 = no gate)
+``REPRO_BENCH_MAX_RSS_PER_100K_MB``
+                              peak-RSS growth budget per 100k traces on
+                              the large tier (default 192 MB)
 """
 
 from __future__ import annotations
 
 import os
+import resource
+import time
 
 from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.columns import TraceColumns
+
+MIN_RPS = float(os.environ.get("REPRO_BENCH_MIN_RPS", "0"))
+LARGE_TRACES = int(os.environ.get("REPRO_BENCH_TRACES_LARGE", "200000"))
+MAX_RSS_PER_100K_MB = float(
+    os.environ.get("REPRO_BENCH_MAX_RSS_PER_100K_MB", "192")
+)
+
+
+def _peak_rss_mb() -> float:
+    """High-water-mark RSS of this process, in MB (Linux reports KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def test_campaign_scale(benchmark, scenario, report_output):
@@ -18,13 +42,60 @@ def test_campaign_scale(benchmark, scenario, report_output):
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
     topology = scenario.topology
     config = CampaignConfig(num_traces=traces, seed=2020, workers=workers)
-    records = benchmark.pedantic(
+    columns = benchmark.pedantic(
         run_campaign, args=(topology, config), rounds=1, iterations=1
     )
-    assert len(records) == traces
-    assert all(r.reached for r in records)
+    assert isinstance(columns, TraceColumns)
+    assert len(columns) == traces
+    assert bool(columns.traces["reached"].all())
+    mean_s = float(benchmark.stats.stats.mean)
+    rps = traces / mean_s if mean_s > 0 else 0.0
+
+    # Large tier: run directly (pytest-benchmark only times one callable
+    # per test) with a peak-RSS growth budget — the columnar store is
+    # what keeps paper-scale campaigns inside a laptop's memory, so a
+    # per-100k-trace regression here is a real scalability break.
+    large = {}
+    if LARGE_TRACES:
+        rss_before = _peak_rss_mb()
+        started = time.perf_counter()
+        big = run_campaign(
+            topology,
+            CampaignConfig(
+                num_traces=LARGE_TRACES, seed=2020, workers=workers
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        rss_grown = max(0.0, _peak_rss_mb() - rss_before)
+        assert len(big) == LARGE_TRACES
+        per_100k = rss_grown / (LARGE_TRACES / 100_000)
+        assert per_100k <= MAX_RSS_PER_100K_MB, (
+            f"peak RSS grew {per_100k:.1f} MB per 100k traces "
+            f"(budget {MAX_RSS_PER_100K_MB} MB)"
+        )
+        large = {
+            "large_traces": LARGE_TRACES,
+            "large_wall_time_s": elapsed,
+            "large_records_per_s": LARGE_TRACES / elapsed,
+            "large_columnar_bytes": big.nbytes,
+            "large_peak_rss_growth_mb": rss_grown,
+            "large_rss_growth_per_100k_mb": per_100k,
+        }
+        del big
+
+    if MIN_RPS:
+        assert rps >= MIN_RPS, (
+            f"campaign throughput {rps:,.0f} records/s below the "
+            f"REPRO_BENCH_MIN_RPS={MIN_RPS:,.0f} gate"
+        )
     report_output(
         "campaign_scale",
         f"campaign scale: {traces} traces, {workers} worker(s), "
-        f"{len(records)} records",
+        f"{len(columns)} records, {rps:,.0f} records/s, "
+        f"{columns.nbytes / 1e6:.2f} MB columnar",
+        campaign_records=len(columns),
+        records_per_s=rps,
+        columnar_bytes=columns.nbytes,
+        min_rps_gate=MIN_RPS or None,
+        **large,
     )

@@ -3,7 +3,7 @@
 A full US2015 scenario build costs double-digit seconds; repeated
 experiment and benchmark runs rebuild the same deterministic artifacts
 every time.  This store memoizes whole stages — ground truth,
-constructed map, campaign, overlay — as pickles keyed by
+constructed map, campaign, overlay — keyed by
 
     (stage, parameters, code version)
 
@@ -13,7 +13,11 @@ artifact automatically; stale entries are never served.
 
 Layout: one ``<stage>-<digest>.pkl`` per artifact directly under the
 cache root (default ``~/.cache/repro``, overridable via
-``REPRO_CACHE_DIR``).  ``python -m repro cache {info,clear,prune}``
+``REPRO_CACHE_DIR``).  Columnar campaign artifacts
+(:class:`~repro.traceroute.columns.TraceColumns`) are the exception:
+they persist as ``<stage>-<digest>.npz`` — a pure-array archive loaded
+with ``allow_pickle=False``, so campaign entries carry no
+code-execution surface.  ``python -m repro cache {info,clear,prune}``
 inspects, empties, and size-bounds it.
 
 The store is hardened against the failure modes a shared on-disk cache
@@ -44,6 +48,7 @@ import os
 import pickle
 import tempfile
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -183,14 +188,18 @@ class ArtifactCache:
         from repro.obs.tracer import get_tracer
 
         path = self._path_for(stage, params)
+        npz_path = path.with_suffix(".npz")
+        if npz_path.is_file():
+            path = npz_path
         try:
-            value = pickle.loads(path.read_bytes())
+            value = self._load(path)
         except FileNotFoundError:
             self.misses += 1
             get_tracer().event("cache.fetch", stage=stage, hit=False)
             return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
+                ImportError, IndexError, ValueError, KeyError,
+                zipfile.BadZipFile):
             self._quarantine(path, stage)
             self.misses += 1
             get_tracer().event(
@@ -208,6 +217,33 @@ class ArtifactCache:
             )
         return True, value
 
+    @staticmethod
+    def _load(path: Path) -> Any:
+        """Deserialize one entry by extension: ``.npz`` columnar
+        artifacts load pickle-free, everything else unpickles."""
+        data = path.read_bytes()
+        if path.suffix == ".npz":
+            from repro.traceroute.columns import columns_from_npz_bytes
+
+            return columns_from_npz_bytes(data)
+        return pickle.loads(data)
+
+    @staticmethod
+    def _serialize(value: Any, path: Path) -> Tuple[bytes, Path]:
+        """``(payload, final path)`` for one artifact.
+
+        Columnar campaigns (:class:`TraceColumns`) persist as ``.npz``
+        archives — a pure-array format loadable with
+        ``allow_pickle=False``, so a poisoned cache entry can corrupt a
+        campaign but never execute code.  Everything else pickles as
+        before.
+        """
+        from repro.traceroute.columns import TraceColumns, columns_to_npz_bytes
+
+        if isinstance(value, TraceColumns):
+            return columns_to_npz_bytes(value), path.with_suffix(".npz")
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), path
+
     def store(self, stage: str, params: Dict[str, Any], value: Any) -> Path:
         """Atomically persist one artifact (write to temp, then rename).
 
@@ -224,7 +260,7 @@ class ArtifactCache:
             injector.maybe_fail_write(stage)
         path = self._path_for(stage, params)
         self.root.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload, path = self._serialize(value, path)
         if injector is not None:
             payload = injector.corrupt_payload(stage, payload)
         get_tracer().event("cache.store", stage=stage, bytes=len(payload))
@@ -243,7 +279,8 @@ class ArtifactCache:
     def contains(self, stage: str, params: Dict[str, Any]) -> bool:
         """Whether an entry exists for ``(stage, params)`` — no load,
         no hit/miss accounting (used by ``graph show``/``explain``)."""
-        return self._path_for(stage, params).is_file()
+        path = self._path_for(stage, params)
+        return path.is_file() or path.with_suffix(".npz").is_file()
 
     def evict_stage(self, stage: str) -> int:
         """Delete every stored artifact belonging to *stage*.
@@ -270,7 +307,8 @@ class ArtifactCache:
         if not self.root.is_dir():
             return []
         found = []
-        for path in sorted(self.root.glob("*.pkl")):
+        paths = list(self.root.glob("*.pkl")) + list(self.root.glob("*.npz"))
+        for path in sorted(paths):
             stage = path.stem.rsplit("-", 1)[0]
             found.append(
                 CacheEntry(

@@ -39,11 +39,22 @@ class RiskMatrix:
             frozenset(t for t in tenancy[cid] if t in self._isp_index)
             for cid in self._conduit_ids
         )
+        # Vectorized scatter: one (row, col) index pair per tenancy
+        # entry, assigned in a single fancy-indexed store.  Produces the
+        # same bytes as the original per-cell double loop (golden-hash
+        # pinned) at a fraction of the cost on paper-scale maps.
         matrix = np.zeros((len(self._isps), len(self._conduit_ids)), dtype=int)
+        rows: List[int] = []
+        cols: List[int] = []
+        counts: List[int] = []
         for j, tenants in enumerate(self._tenants):
             count = len(tenants)
             for isp in tenants:
-                matrix[self._isp_index[isp], j] = count
+                rows.append(self._isp_index[isp])
+                cols.append(j)
+                counts.append(count)
+        if rows:
+            matrix[rows, cols] = counts
         self._matrix = matrix
         self._matrix.setflags(write=False)
 

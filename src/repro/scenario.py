@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.engine import StageContext, StageDef, StageGraph
 from repro.fibermap.elements import FiberMap
@@ -49,9 +49,10 @@ from repro.perf.cache import (
 from repro.perf.substrate import RoutingSubstrate, build_substrate
 from repro.risk.matrix import RiskMatrix
 from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.columns import TraceColumns
 from repro.traceroute.geolocate import GeolocationDatabase
 from repro.traceroute.overlay import TrafficOverlay
-from repro.traceroute.probe import ProbeEngine, TracerouteRecord
+from repro.traceroute.probe import ProbeEngine
 from repro.traceroute.topology import InternetTopology
 from repro.transport.network import TransportationNetwork
 
@@ -134,7 +135,7 @@ def _build_probe_engine(ctx: StageContext) -> ProbeEngine:
     return ProbeEngine(ctx.dep("topology"), seed=ctx.seed)
 
 
-def _build_campaign(ctx: StageContext) -> List[TracerouteRecord]:
+def _build_campaign(ctx: StageContext) -> TraceColumns:
     config = CampaignConfig(
         num_traces=ctx.params["traces"],
         seed=ctx.seed,
@@ -210,7 +211,7 @@ STAGES: Tuple[StageDef, ...] = (
         "campaign", _build_campaign,
         deps=("topology", "probe_engine"), seed_offset=5,
         persist=True, cache_params=("seed", "traces"),
-        doc="the §4.3 traceroute campaign records",
+        doc="the §4.3 traceroute campaign (columnar record store)",
     ),
     StageDef(
         "geolocation", _build_geolocation,
@@ -381,7 +382,8 @@ class Scenario:
         return self.graph.materialize("probe_engine")
 
     @property
-    def campaign(self) -> List[TracerouteRecord]:
+    def campaign(self) -> TraceColumns:
+        """The campaign as columns (still a sequence of records)."""
         return self.graph.materialize("campaign")
 
     @property

@@ -10,8 +10,10 @@ provides the equivalent machinery end-to-end:
   *phantom providers* (SoftLayer, MFN, ...) whose presence the paper
   could only infer from traceroute data;
 * :mod:`repro.traceroute.probe` — the traceroute simulator;
+* :mod:`repro.traceroute.columns` — the columnar campaign record store
+  (structured arrays + string tables) that holds paper-scale campaigns;
 * :mod:`repro.traceroute.campaign` — client/destination workload
-  generation;
+  generation and the sharded shared-memory campaign runner;
 * :mod:`repro.traceroute.geolocate` — noisy IP geolocation plus DRoP-
   style DNS naming-hint decoding;
 * :mod:`repro.traceroute.overlay` — mapping layer-3 hops onto physical
@@ -20,6 +22,7 @@ provides the equivalent machinery end-to-end:
 
 from repro.traceroute.addressing import AddressPlan
 from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.columns import ColumnSchema, ColumnWriter, TraceColumns
 from repro.traceroute.geolocate import GeolocationDatabase, decode_naming_hint
 from repro.traceroute.overlay import ConduitTraffic, TrafficOverlay
 from repro.traceroute.probe import Hop, ProbeEngine, TracerouteRecord
@@ -32,6 +35,9 @@ __all__ = [
     "ProbeEngine",
     "Hop",
     "TracerouteRecord",
+    "ColumnSchema",
+    "ColumnWriter",
+    "TraceColumns",
     "CampaignConfig",
     "run_campaign",
     "GeolocationDatabase",

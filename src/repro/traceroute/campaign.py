@@ -10,24 +10,38 @@ backbones — which is why Level 3 dominates the observed conduit usage
 Every trace index owns a private RNG stream derived from
 ``(config.seed, index)``, so a campaign is an order-independent map
 over trace indices: the serial loop and the sharded
-``ProcessPoolExecutor`` path produce byte-identical records, and any
+``ProcessPoolExecutor`` path produce byte-identical columns, and any
 subrange can be regenerated without replaying the whole campaign.
 
-That same property makes the pool path *fault-tolerant for free*: when
-a worker process dies (OOM kill, segfault, injected crash) the broken
-pool is torn down, re-spawned after a bounded exponential backoff, and
-only the incomplete shards are requeued — replaying a shard cannot
-change its records.  After ``max_pool_restarts`` consecutive restarts
-with no progress the remaining shards degrade to an in-process serial
-run, so a campaign always completes with the exact record stream a
-fault-free run would have produced.  Recovery is observable: each
-restart emits a ``campaign.retry`` tracer event and the serial
-fallback emits ``campaign.degraded``, both visible in run manifests.
+A campaign materializes as :class:`~repro.traceroute.columns.TraceColumns`
+— numpy columns plus interned string tables — not a list of record
+objects; the columns still behave as a sequence of
+:class:`~repro.traceroute.probe.TracerouteRecord` for every legacy
+consumer.  Pool workers fill a named ``multiprocessing.shared_memory``
+segment with their shard's raw column bytes and return only the segment
+name and an array manifest; the parent maps each segment, stitches all
+shards into the final columns with one pass, and unlinks every segment
+(a finally-scoped sweep also covers segments orphaned by crashed
+workers or a KeyboardInterrupt, so ``/dev/shm`` never accumulates).
+
+That same per-index property makes the pool path *fault-tolerant for
+free*: when a worker process dies (OOM kill, segfault, injected crash)
+the broken pool is torn down, re-spawned after a bounded exponential
+backoff, and only the incomplete shards are requeued — replaying a
+shard cannot change its columns.  After ``max_pool_restarts``
+consecutive restarts with no progress the remaining shards degrade to
+an in-process serial run, so a campaign always completes with the exact
+column stream a fault-free run would have produced.  Recovery is
+observable: each restart emits a ``campaign.retry`` tracer event and
+the serial fallback emits ``campaign.degraded``, both visible in run
+manifests.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import os
 import random
 import time
@@ -36,11 +50,18 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import accumulate
-from typing import Dict, List, Optional, Tuple
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # the POSIX C helper behind SharedMemory; lets the janitor unlink
+    import _posixshmem  # segments too malformed to attach to
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _posixshmem = None
 
 from repro.data.cities import city_by_name
 from repro.obs.faults import FaultInjector, get_fault_injector, set_fault_injector
 from repro.obs.tracer import get_tracer
+from repro.traceroute.columns import ColumnSchema, TraceColumns, unpack_shard
 from repro.traceroute.probe import ProbeEngine, TracerouteRecord
 from repro.traceroute.topology import InternetTopology
 
@@ -85,6 +106,9 @@ _MIN_CHUNK = 250
 #: Ceiling on the exponential backoff between pool restarts.
 _RETRY_BACKOFF_CAP_S = 2.0
 
+#: Distinguishes segment names across campaigns within one process.
+_SEGMENT_SEQ = itertools.count()
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -100,7 +124,7 @@ class CampaignConfig:
     #: Client cities are weighted by population to this power.
     client_population_exponent: float = 0.9
     #: Worker processes: 1 runs in-process, 0 auto-detects CPU cores.
-    #: The record stream is identical for every worker count.
+    #: The column stream is identical for every worker count.
     workers: int = 1
     #: Consecutive no-progress pool restarts tolerated before the
     #: remaining shards degrade to an in-process serial run.
@@ -173,7 +197,11 @@ def _trace_for_index(
     config: CampaignConfig,
     index: int,
 ) -> TracerouteRecord:
-    """The record for one trace index, independent of all other traces."""
+    """The record for one trace index, independent of all other traces.
+
+    The reference object path: :func:`_columns_for_index` consumes the
+    identical RNG stream, so both render the same trace.
+    """
     rng = random.Random(_trace_seed(config.seed, index))
     for _ in range(MAX_ATTEMPTS_PER_TRACE):
         src_isp = _pick(rng, plan.client_names, plan.client_cum)
@@ -193,6 +221,39 @@ def _trace_for_index(
     )
 
 
+def _columns_for_index(
+    engine: ProbeEngine,
+    plan: _CampaignPlan,
+    config: CampaignConfig,
+    writer,
+    index: int,
+) -> None:
+    """Columnar :func:`_trace_for_index`: append the trace to *writer*.
+
+    Draw-for-draw the same RNG stream — endpoint picks, degenerate
+    redraws, per-hop noise — so the columns it produces reconstruct the
+    exact records of the object path.
+    """
+    rng = random.Random(_trace_seed(config.seed, index))
+    for _ in range(MAX_ATTEMPTS_PER_TRACE):
+        src_isp = _pick(rng, plan.client_names, plan.client_cum)
+        dst_isp = _pick(rng, plan.dest_names, plan.dest_cum)
+        cities, cum = plan.client_cities[src_isp]
+        src_city = _pick(rng, cities, cum)
+        cities, cum = plan.dest_cities[dst_isp]
+        dst_city = _pick(rng, cities, cum)
+        if src_city == dst_city and src_isp == dst_isp:
+            continue
+        if engine.trace_into(
+            writer, src_city, src_isp, dst_city, dst_isp, rng
+        ):
+            return
+    raise RuntimeError(
+        f"trace {index}: no reachable (src, dst) pair after "
+        f"{MAX_ATTEMPTS_PER_TRACE} draws; topology too disconnected"
+    )
+
+
 def resolve_workers(workers: int) -> int:
     """Worker count with 0 meaning one per CPU core."""
     if workers == 0:
@@ -201,11 +262,98 @@ def resolve_workers(workers: int) -> int:
 
 
 # ----------------------------------------------------------------------
+# Shared-memory shard transport
+# ----------------------------------------------------------------------
+def _segment_name(token: str, start: int) -> str:
+    """Predictable segment name: the parent can sweep a crashed
+    worker's segment without ever having heard back from it."""
+    return f"repro-{token}-{start:x}"
+
+
+def _unlink_stale_segment(name: str) -> None:
+    """Remove a leftover segment that may not be attachable.
+
+    A worker killed between ``shm_open`` and ``ftruncate`` (e.g. by the
+    executor tearing down its siblings after another worker crashed)
+    leaves a zero-size segment that ``SharedMemory(name=...)`` refuses
+    to map ("cannot mmap an empty file").  Attach-and-unlink handles
+    the well-formed case — and keeps the resource tracker's register/
+    unregister ledger balanced — while the raw ``shm_unlink`` fallback
+    removes unmappable stales (which died before the tracker ever
+    registered them).
+    """
+    try:
+        stale = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    except (ValueError, OSError):
+        if _posixshmem is not None:
+            with contextlib.suppress(OSError):
+                _posixshmem.shm_unlink("/" + name)
+        return
+    stale.unlink()
+    with contextlib.suppress(BufferError):
+        stale.close()
+
+
+def _create_segment(name: str, size: int) -> shared_memory.SharedMemory:
+    """Create a named segment, displacing any stale leftover.
+
+    A worker killed between creating its segment and returning leaves
+    the name behind; the shard's replay (same name, derived from the
+    shard start) unlinks the leftover and starts clean.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        _unlink_stale_segment(name)
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+class _ShardSegments:
+    """Parent-side ownership of every segment one campaign can create.
+
+    Workers create segments under predictable names; the parent attaches
+    to harvest and — in a ``finally`` — closes and unlinks everything it
+    expected, whether or not the worker that owned a name ever reported
+    back.  This is the guard against ``/dev/shm`` leaks on pool crashes
+    and KeyboardInterrupt.
+    """
+
+    def __init__(self, token: str):
+        self.token = token
+        self._expected: set = set()
+        self._attached: List[shared_memory.SharedMemory] = []
+
+    def expect(self, start: int) -> None:
+        self._expected.add(_segment_name(self.token, start))
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        segment = shared_memory.SharedMemory(name=name)
+        self._expected.add(name)
+        self._attached.append(segment)
+        return segment
+
+    def cleanup(self) -> None:
+        for segment in self._attached:
+            # A close can fail only while numpy views into the buffer
+            # are still alive (error paths); the unlink sweep below
+            # still removes the name, and the mapping dies with the
+            # process.
+            with contextlib.suppress(BufferError):
+                segment.close()
+        self._attached.clear()
+        for name in self._expected:
+            _unlink_stale_segment(name)
+        self._expected.clear()
+
+
+# ----------------------------------------------------------------------
 # Worker-process state.  Populated once per worker by the pool
 # initializer; under the default ``fork`` start method the topology
 # (and its compiled routing core) is inherited copy-on-write.
 _WORKER_STATE: Optional[
-    Tuple[ProbeEngine, _CampaignPlan, CampaignConfig]
+    Tuple[ProbeEngine, _CampaignPlan, CampaignConfig, str]
 ] = None
 
 
@@ -213,6 +361,7 @@ def _init_worker(
     topology: InternetTopology,
     config: CampaignConfig,
     fault_injector: Optional[FaultInjector] = None,
+    segment_token: str = "",
 ) -> None:
     global _WORKER_STATE
     # Explicit initargs plumbing (rather than relying on fork
@@ -222,31 +371,40 @@ def _init_worker(
     engine = ProbeEngine(topology, seed=config.seed + 1)
     plan = _CampaignPlan(topology, config)
     engine.prepare_destinations(plan.dest_nodes)
-    _WORKER_STATE = (engine, plan, config)
+    _WORKER_STATE = (engine, plan, config, segment_token)
 
 
 def _run_chunk(
     bounds: Tuple[int, int]
-) -> Tuple[List[TracerouteRecord], float]:
-    """One shard's records plus its wall time (for shard spans).
+) -> Tuple[str, Dict[str, Any], float]:
+    """One shard's columns, delivered through shared memory.
 
-    The timing is measured inside the worker process — two
-    ``perf_counter`` calls per shard, paid whether or not the parent's
-    tracer is enabled — and attributed to a ``campaign.shard`` span in
-    the parent, which is how per-shard observability crosses the
-    ``ProcessPoolExecutor`` boundary.
+    The shard is traced into a :class:`ColumnWriter`, packed into a
+    named segment as raw array bytes, and only ``(segment name, array
+    manifest, wall time)`` crosses the ``ProcessPoolExecutor`` result
+    pipe — no pickling of records, no copy of the columns.  The wall
+    time is measured inside the worker and attributed to a
+    ``campaign.shard`` span in the parent, which is how per-shard
+    observability crosses the process boundary.
     """
     start, stop = bounds
     injector = get_fault_injector()
     if injector is not None:
         injector.maybe_crash_worker(start)
-    engine, plan, config = _WORKER_STATE
+    engine, plan, config, token = _WORKER_STATE
     started = time.perf_counter()
-    records = [
-        _trace_for_index(engine, plan, config, index)
-        for index in range(start, stop)
-    ]
-    return records, time.perf_counter() - started
+    writer = engine.begin_columns(stop - start)
+    for index in range(start, stop):
+        _columns_for_index(engine, plan, config, writer, index)
+    columns = writer.finish()
+    elapsed = time.perf_counter() - started
+    name = _segment_name(token, start)
+    segment = _create_segment(name, columns.transport_size())
+    try:
+        manifest = columns.pack_into(segment.buf)
+    finally:
+        segment.close()
+    return name, manifest, elapsed
 
 
 def run_campaign(
@@ -254,17 +412,20 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     engine: Optional[ProbeEngine] = None,
     workers: Optional[int] = None,
-) -> List[TracerouteRecord]:
+) -> TraceColumns:
     """Generate a full campaign of traceroutes, deterministically.
 
-    Degenerate picks (identical endpoints, client provider absent from
-    a city, etc.) are redrawn within the trace's own RNG stream, so the
-    result always has exactly ``num_traces`` reached records unless the
-    topology is pathologically disconnected.
+    Returns :class:`~repro.traceroute.columns.TraceColumns` — the
+    columnar campaign store, which still reads as a sequence of
+    :class:`TracerouteRecord` for legacy consumers.  Degenerate picks
+    (identical endpoints, client provider absent from a city, etc.) are
+    redrawn within the trace's own RNG stream, so the result always has
+    exactly ``num_traces`` reached records unless the topology is
+    pathologically disconnected.
 
     *workers* overrides ``config.workers`` (0 auto-detects cores).  The
-    record stream is identical for every worker count; *engine* is only
-    used by the in-process path — shards build their own engines.
+    column stream is byte-identical for every worker count; *engine* is
+    only used by the in-process path — shards build their own engines.
     """
     config = config if config is not None else CampaignConfig()
     plan = _CampaignPlan(topology, config)
@@ -282,12 +443,12 @@ def run_campaign(
             if engine is None:
                 engine = ProbeEngine(topology, seed=config.seed + 1)
             engine.prepare_destinations(plan.dest_nodes)
-            records = [
-                _trace_for_index(engine, plan, config, index)
-                for index in range(config.num_traces)
-            ]
-            tracer.count("records", len(records))
-            return records
+            writer = engine.begin_columns(config.num_traces)
+            for index in range(config.num_traces):
+                _columns_for_index(engine, plan, config, writer, index)
+            columns = writer.finish()
+            tracer.count("records", len(columns))
+            return columns
     with tracer.span(
         "campaign.run", traces=config.num_traces, workers=n_workers,
         mode="pool",
@@ -304,14 +465,11 @@ def run_campaign(
             (start, min(start + chunk, config.num_traces))
             for start in range(0, config.num_traces, chunk)
         ]
-        results = _run_sharded(topology, plan, config, n_workers, bounds)
-        records: List[TracerouteRecord] = []
-        for b in bounds:
-            records.extend(results[b])
+        columns = _run_sharded(topology, plan, config, n_workers, bounds)
         if tracer.enabled:
             tracer.annotate(shards=len(bounds))
-        tracer.count("records", len(records))
-        return records
+        tracer.count("records", len(columns))
+        return columns
 
 
 def _run_sharded(
@@ -320,69 +478,101 @@ def _run_sharded(
     config: CampaignConfig,
     n_workers: int,
     bounds: List[Tuple[int, int]],
-) -> Dict[Tuple[int, int], List[TracerouteRecord]]:
+) -> TraceColumns:
     """Run every shard to completion, surviving worker-process deaths.
 
     A dead worker breaks the whole ``ProcessPoolExecutor``; shard
-    results harvested before the break are kept, the pool is re-spawned
-    after an exponentially backed-off delay, and only incomplete shards
-    are requeued.  Requeueing is safe because each trace index owns a
-    private RNG stream: replaying a shard reproduces its records
-    exactly.  Consecutive no-progress restarts beyond
+    segments harvested before the break are kept, the pool is
+    re-spawned after an exponentially backed-off delay, and only
+    incomplete shards are requeued.  Requeueing is safe because each
+    trace index owns a private RNG stream: replaying a shard reproduces
+    its columns exactly.  Consecutive no-progress restarts beyond
     ``config.max_pool_restarts`` degrade the remaining shards to an
     in-process serial run (a pool that cannot hold workers — fork bomb
     protection, rlimits, cgroup OOM — must not make the campaign
     unfinishable).
+
+    Every shared-memory segment the campaign can have created is closed
+    and unlinked in the ``finally`` sweep, including segments orphaned
+    by crashed workers and segments in flight when a KeyboardInterrupt
+    lands.
     """
     tracer = get_tracer()
     injector = get_fault_injector()
-    results: Dict[Tuple[int, int], List[TracerouteRecord]] = {}
+    schema = ColumnSchema.from_topology(topology)
+    # One tracker process shared (via fork) by parent and workers, so a
+    # worker-registered segment is the same tracked resource the parent
+    # unlinks — no spurious leak warnings at interpreter exit.
+    resource_tracker.ensure_running()
+    token = f"{os.getpid():x}-{next(_SEGMENT_SEQ):x}"
+    segments = _ShardSegments(token)
+    results: Dict[Tuple[int, int], TraceColumns] = {}
+    parts: List[TraceColumns] = []
     pending = list(bounds)
     restarts = 0
     backoff = max(0.0, config.retry_backoff_s)
-    while pending:
-        harvested = 0
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(pending)),
-                initializer=_init_worker,
-                initargs=(topology, config, injector),
-            ) as pool:
-                futures = {
-                    pool.submit(_run_chunk, b): b for b in pending
-                }
-                for future in as_completed(futures):
-                    start, stop = futures[future]
-                    part, elapsed = future.result()
-                    results[(start, stop)] = part
-                    harvested += 1
-                    tracer.record_span(
-                        "campaign.shard", elapsed,
-                        start=start, stop=stop, records=len(part),
+    try:
+        while pending:
+            harvested = 0
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(pending)),
+                    initializer=_init_worker,
+                    initargs=(topology, config, injector, token),
+                ) as pool:
+                    futures = {}
+                    for b in pending:
+                        segments.expect(b[0])
+                        futures[pool.submit(_run_chunk, b)] = b
+                    for future in as_completed(futures):
+                        start, stop = futures[future]
+                        name, manifest, elapsed = future.result()
+                        # No local binding of the unpacked shard: its
+                        # arrays view the segment buffer, and every
+                        # view must be droppable (results.clear) before
+                        # the cleanup sweep closes the mappings.
+                        results[(start, stop)] = unpack_shard(
+                            schema, segments.attach(name).buf, manifest
+                        )
+                        harvested += 1
+                        tracer.record_span(
+                            "campaign.shard", elapsed,
+                            start=start, stop=stop,
+                            records=int(manifest["num_traces"]),
+                        )
+            except BrokenProcessPool:
+                pending = [b for b in pending if b not in results]
+                restarts = restarts + 1 if harvested == 0 else 1
+                if restarts > config.max_pool_restarts:
+                    tracer.event(
+                        "campaign.degraded", mode="serial",
+                        shards_remaining=len(pending),
+                        restarts=restarts - 1,
                     )
-        except BrokenProcessPool:
-            pending = [b for b in pending if b not in results]
-            restarts = restarts + 1 if harvested == 0 else 1
-            if restarts > config.max_pool_restarts:
+                    _run_serial_fallback(
+                        topology, plan, config, pending, results
+                    )
+                    break
                 tracer.event(
-                    "campaign.degraded", mode="serial",
-                    shards_remaining=len(pending), restarts=restarts - 1,
+                    "campaign.retry", attempt=restarts,
+                    shards_remaining=len(pending), backoff_s=backoff,
                 )
-                _run_serial_fallback(topology, plan, config, pending, results)
-                return results
-            tracer.event(
-                "campaign.retry", attempt=restarts,
-                shards_remaining=len(pending), backoff_s=backoff,
-            )
-            if backoff > 0.0:
-                time.sleep(backoff)
-            backoff = min(
-                max(backoff, config.retry_backoff_s) * 2,
-                _RETRY_BACKOFF_CAP_S,
-            )
-        else:
-            pending = [b for b in pending if b not in results]
-    return results
+                if backoff > 0.0:
+                    time.sleep(backoff)
+                backoff = min(
+                    max(backoff, config.retry_backoff_s) * 2,
+                    _RETRY_BACKOFF_CAP_S,
+                )
+            else:
+                pending = [b for b in pending if b not in results]
+        parts.extend(results[b] for b in bounds)
+        return TraceColumns.concatenate(schema, parts)
+    finally:
+        # Drop every view into the segments (even when an exception is
+        # propagating) before the cleanup sweep closes the mappings.
+        results.clear()
+        parts.clear()
+        segments.cleanup()
 
 
 def _run_serial_fallback(
@@ -390,18 +580,18 @@ def _run_serial_fallback(
     plan: _CampaignPlan,
     config: CampaignConfig,
     pending: List[Tuple[int, int]],
-    results: Dict[Tuple[int, int], List[TracerouteRecord]],
+    results: Dict[Tuple[int, int], TraceColumns],
 ) -> None:
-    """Finish *pending* shards in-process (same records as any worker)."""
+    """Finish *pending* shards in-process (same columns as any worker)."""
     engine = ProbeEngine(topology, seed=config.seed + 1)
     engine.prepare_destinations(plan.dest_nodes)
     tracer = get_tracer()
     for start, stop in pending:
         started = time.perf_counter()
-        results[(start, stop)] = [
-            _trace_for_index(engine, plan, config, index)
-            for index in range(start, stop)
-        ]
+        writer = engine.begin_columns(stop - start)
+        for index in range(start, stop):
+            _columns_for_index(engine, plan, config, writer, index)
+        results[(start, stop)] = writer.finish()
         tracer.record_span(
             "campaign.shard", time.perf_counter() - started,
             start=start, stop=stop, records=stop - start, degraded=True,

@@ -1,0 +1,554 @@
+"""Columnar record store for traceroute campaigns.
+
+The paper's §4.3 overlay consumed ~4.9M Edgescope traceroutes.  At that
+scale the frozen :class:`~repro.traceroute.probe.TracerouteRecord` /
+``Hop`` dataclasses stop being a storage format and become the
+bottleneck: millions of small Python objects dominate memory, and
+pickling them through the worker pool dominates IPC.  This module keeps
+the *records* as the public contract but stores a campaign as columns:
+
+* per-trace fields live in one numpy **structured array**
+  (:data:`TRACE_DTYPE`): endpoint city/ISP ids and the reached flag;
+* hops live in **CSR layout** — ``hop_offsets`` (``N+1`` int64) indexes
+  flat per-hop columns ``hop_router`` (int32 router ids) and ``hop_rtt``
+  (float64 milliseconds);
+* strings are interned once in a :class:`ColumnSchema` — arena-style
+  tables for city keys, provider names, and per-router IP/DNS strings —
+  so no string is stored per trace.
+
+A 4.9M-trace campaign is ~25 bytes of trace columns plus ~12 bytes per
+hop, i.e. a few hundred MB instead of tens of GB of objects.
+
+Everything downstream keeps working because :class:`TraceColumns` *is*
+a sequence of :class:`TracerouteRecord`: indexing, slicing, and
+iteration reconstruct records lazily (:meth:`TraceColumns.record`), and
+:meth:`TraceColumns.records` exposes that view explicitly.  Columnar
+consumers (the §4.3 overlay, benchmarks) instead stream
+:meth:`TraceColumns.iter_batches` and never materialize objects.
+
+The layout is deliberately pickle-free on disk: :meth:`to_npz_bytes` /
+:func:`columns_from_npz_bytes` round-trip through ``np.savez`` with
+``allow_pickle=False``, and :meth:`pack_into` / :func:`unpack_shard`
+move shards through ``multiprocessing.shared_memory`` segments as raw
+array bytes (see :mod:`repro.traceroute.campaign`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.traceroute.probe import TracerouteRecord
+    from repro.traceroute.topology import InternetTopology
+
+#: Per-trace structured layout.  City/ISP fields are indices into the
+#: schema's string tables; int32 leaves headroom far past any realistic
+#: city or provider count while keeping a trace at 17 bytes.
+TRACE_DTYPE = np.dtype(
+    [
+        ("src_city", np.int32),
+        ("src_isp", np.int32),
+        ("dst_city", np.int32),
+        ("dst_isp", np.int32),
+        ("reached", np.bool_),
+    ]
+)
+
+#: Serialization format version (stored in npz payloads).
+COLUMNS_FORMAT_VERSION = 1
+
+
+def _as_str_tuple(values) -> Tuple[str, ...]:
+    """Plain-``str`` tuple (numpy ``str_`` reprs would poison golden
+    hashes of reconstructed records)."""
+    return tuple(str(v) for v in values)
+
+
+class ColumnSchema:
+    """Interned string tables shared by every trace of one topology.
+
+    Built deterministically (sorted providers, each provider's sorted
+    router cities), so the parent process and every pool worker derive
+    byte-identical tables from the same topology — the property that
+    lets shards ship pure numeric arrays.
+    """
+
+    def __init__(
+        self,
+        cities: Sequence[str],
+        isps: Sequence[str],
+        router_ips: Sequence[str],
+        router_dns: Sequence[str],
+        router_nodes: Sequence[Tuple[str, str]],
+    ):
+        self.cities = _as_str_tuple(cities)
+        self.isps = _as_str_tuple(isps)
+        self.router_ips = _as_str_tuple(router_ips)
+        self.router_dns = _as_str_tuple(router_dns)
+        self.router_nodes = tuple(
+            (str(isp), str(city)) for isp, city in router_nodes
+        )
+        self.city_index: Dict[str, int] = {
+            c: i for i, c in enumerate(self.cities)
+        }
+        self.isp_index: Dict[str, int] = {
+            p: i for i, p in enumerate(self.isps)
+        }
+        self.router_index: Dict[Tuple[str, str], int] = {
+            node: i for i, node in enumerate(self.router_nodes)
+        }
+
+    @classmethod
+    def from_topology(cls, topology: "InternetTopology") -> "ColumnSchema":
+        """The canonical schema of one router-level topology."""
+        isps = topology.providers()  # sorted
+        nodes: List[Tuple[str, str]] = []
+        ips: List[str] = []
+        dns: List[str] = []
+        cities = set()
+        for isp in isps:
+            for router in topology.routers_of(isp):  # sorted by city
+                nodes.append((router.isp, router.city_key))
+                ips.append(router.ip)
+                dns.append(router.dns_name)
+                cities.add(router.city_key)
+        return cls(
+            cities=sorted(cities),
+            isps=isps,
+            router_ips=ips,
+            router_dns=dns,
+            router_nodes=nodes,
+        )
+
+    def digest(self) -> str:
+        """Content hash used to cross-check worker/parent agreement."""
+        h = hashlib.blake2b(digest_size=8)
+        for table in (self.cities, self.isps, self.router_ips,
+                      self.router_dns):
+            for item in table:
+                h.update(item.encode())
+                h.update(b"\0")
+            h.update(b"\1")
+        return h.hexdigest()
+
+
+class TraceBatch:
+    """One bounded window of a :class:`TraceColumns` (a streaming unit).
+
+    Column slices are views, not copies; ``hop_offsets`` is rebased so
+    ``hop_offsets[i] .. hop_offsets[i+1]`` indexes the batch-local hop
+    columns directly.
+    """
+
+    __slots__ = ("schema", "start", "traces", "hop_offsets", "hop_router",
+                 "hop_rtt")
+
+    def __init__(self, schema, start, traces, hop_offsets, hop_router,
+                 hop_rtt):
+        self.schema = schema
+        self.start = start
+        self.traces = traces
+        self.hop_offsets = hop_offsets
+        self.hop_router = hop_router
+        self.hop_rtt = hop_rtt
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+class _RecordsView(Sequence):
+    """Lazy ``Sequence[TracerouteRecord]`` over a :class:`TraceColumns`.
+
+    The legacy object API: every access reconstructs records on the
+    fly, so holding the view costs nothing beyond the columns.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: "TraceColumns"):
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __getitem__(self, item):
+        return self._columns[item]
+
+    def __iter__(self):
+        return self._columns.__iter__()
+
+
+class TraceColumns:
+    """A whole campaign as columns; also a lazy sequence of records."""
+
+    def __init__(
+        self,
+        schema: ColumnSchema,
+        traces: np.ndarray,
+        hop_offsets: np.ndarray,
+        hop_router: np.ndarray,
+        hop_rtt: np.ndarray,
+    ):
+        if traces.dtype != TRACE_DTYPE:
+            raise ValueError(f"traces dtype must be {TRACE_DTYPE}")
+        if len(hop_offsets) != len(traces) + 1:
+            raise ValueError("hop_offsets must have num_traces + 1 entries")
+        self.schema = schema
+        self.traces = traces
+        self.hop_offsets = hop_offsets
+        self.hop_router = hop_router
+        self.hop_rtt = hop_rtt
+
+    # -- sizing --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hop_router)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the numeric columns (string tables excluded)."""
+        return (
+            self.traces.nbytes + self.hop_offsets.nbytes
+            + self.hop_router.nbytes + self.hop_rtt.nbytes
+        )
+
+    # -- the legacy record view ----------------------------------------
+    def record(self, index: int) -> "TracerouteRecord":
+        """Reconstruct one :class:`TracerouteRecord` (lazily, on demand)."""
+        from repro.traceroute.probe import Hop, TracerouteRecord
+
+        schema = self.schema
+        row = self.traces[index]
+        lo = int(self.hop_offsets[index])
+        hi = int(self.hop_offsets[index + 1])
+        ips = schema.router_ips
+        dns = schema.router_dns
+        routers = self.hop_router
+        rtts = self.hop_rtt
+        hops = tuple(
+            Hop(
+                ip=ips[routers[h]],
+                dns_name=dns[routers[h]],
+                rtt_ms=float(rtts[h]),
+            )
+            for h in range(lo, hi)
+        )
+        return TracerouteRecord(
+            src_city=schema.cities[row["src_city"]],
+            src_isp=schema.isps[row["src_isp"]],
+            dst_city=schema.cities[row["dst_city"]],
+            dst_isp=schema.isps[row["dst_isp"]],
+            hops=hops,
+            reached=bool(row["reached"]),
+        )
+
+    def records(self) -> _RecordsView:
+        """The lazy legacy view: a ``Sequence[TracerouteRecord]``."""
+        return _RecordsView(self)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [self.record(i) for i in range(*item.indices(len(self)))]
+        index = item if item >= 0 else len(self) + item
+        if not 0 <= index < len(self):
+            raise IndexError(item)
+        return self.record(index)
+
+    def __iter__(self) -> Iterator["TracerouteRecord"]:
+        for i in range(len(self)):
+            yield self.record(i)
+
+    # -- streaming -----------------------------------------------------
+    def iter_batches(self, batch_size: int = 8192) -> Iterator[TraceBatch]:
+        """Stream the campaign as bounded column windows.
+
+        This is how large-scale consumers (the §4.3 overlay) walk a
+        campaign: memory per step is one batch of column views, never a
+        materialized record list.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        offsets = self.hop_offsets
+        for start in range(0, len(self), batch_size):
+            stop = min(start + batch_size, len(self))
+            lo = int(offsets[start])
+            hi = int(offsets[stop])
+            yield TraceBatch(
+                schema=self.schema,
+                start=start,
+                traces=self.traces[start:stop],
+                hop_offsets=offsets[start:stop + 1] - lo,
+                hop_router=self.hop_router[lo:hi],
+                hop_rtt=self.hop_rtt[lo:hi],
+            )
+
+    # -- equality (used by the chaos/byte-identity tests) --------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceColumns):
+            return NotImplemented
+        return (
+            self.schema.cities == other.schema.cities
+            and self.schema.isps == other.schema.isps
+            and self.schema.router_ips == other.schema.router_ips
+            and self.schema.router_dns == other.schema.router_dns
+            and np.array_equal(self.traces, other.traces)
+            and np.array_equal(self.hop_offsets, other.hop_offsets)
+            and np.array_equal(self.hop_router, other.hop_router)
+            and np.array_equal(self.hop_rtt, other.hop_rtt)
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- concatenation (shard stitching) -------------------------------
+    @classmethod
+    def concatenate(
+        cls, schema: ColumnSchema, parts: Sequence["TraceColumns"]
+    ) -> "TraceColumns":
+        """Stitch shard columns (in shard order) into one campaign."""
+        n = sum(len(p) for p in parts)
+        h = sum(p.num_hops for p in parts)
+        traces = np.empty(n, dtype=TRACE_DTYPE)
+        hop_offsets = np.empty(n + 1, dtype=np.int64)
+        hop_router = np.empty(h, dtype=np.int32)
+        hop_rtt = np.empty(h, dtype=np.float64)
+        hop_offsets[0] = 0
+        t = 0
+        k = 0
+        for part in parts:
+            pn, ph = len(part), part.num_hops
+            traces[t:t + pn] = part.traces
+            hop_offsets[t + 1:t + pn + 1] = part.hop_offsets[1:] + k
+            hop_router[k:k + ph] = part.hop_router
+            hop_rtt[k:k + ph] = part.hop_rtt
+            t += pn
+            k += ph
+        return cls(schema, traces, hop_offsets, hop_router, hop_rtt)
+
+    # -- flat-buffer transport (shared-memory shards) ------------------
+    def _transport_arrays(self) -> Tuple[Tuple[str, np.ndarray], ...]:
+        return (
+            ("traces", self.traces),
+            ("hop_offsets", self.hop_offsets),
+            ("hop_router", self.hop_router),
+            ("hop_rtt", self.hop_rtt),
+        )
+
+    def transport_size(self) -> int:
+        """Bytes a shared-memory segment needs to hold these columns."""
+        return max(1, sum(a.nbytes for _, a in self._transport_arrays()))
+
+    def pack_into(self, buffer) -> Dict[str, Any]:
+        """Write the numeric columns into *buffer* (a shm view), back to
+        back, and return the manifest the parent needs to map them."""
+        layout = []
+        offset = 0
+        for name, array in self._transport_arrays():
+            flat = np.frombuffer(
+                buffer, dtype=np.uint8, count=array.nbytes, offset=offset
+            )
+            flat[:] = np.frombuffer(
+                np.ascontiguousarray(array), dtype=np.uint8
+            )
+            layout.append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str if array.dtype.names is None
+                    else TRACE_DTYPE.str,
+                    "structured": array.dtype.names is not None,
+                    "count": len(array),
+                    "offset": offset,
+                }
+            )
+            offset += array.nbytes
+        return {
+            "format": COLUMNS_FORMAT_VERSION,
+            "num_traces": len(self),
+            "num_hops": self.num_hops,
+            "schema_digest": self.schema.digest(),
+            "arrays": layout,
+        }
+
+
+def unpack_shard(
+    schema: ColumnSchema, buffer, manifest: Dict[str, Any]
+) -> TraceColumns:
+    """Map a shard's columns out of a shared-memory *buffer*.
+
+    The returned arrays are **views into the segment** (zero-copy); the
+    caller must copy (e.g. via :meth:`TraceColumns.concatenate`) before
+    the segment is closed and unlinked.
+    """
+    if manifest.get("schema_digest") != schema.digest():
+        raise ValueError(
+            "shard schema digest does not match the parent topology"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in manifest["arrays"]:
+        dtype = TRACE_DTYPE if spec["structured"] else np.dtype(spec["dtype"])
+        arrays[spec["name"]] = np.frombuffer(
+            buffer, dtype=dtype, count=spec["count"], offset=spec["offset"]
+        )
+    return TraceColumns(
+        schema,
+        traces=arrays["traces"],
+        hop_offsets=arrays["hop_offsets"],
+        hop_router=arrays["hop_router"],
+        hop_rtt=arrays["hop_rtt"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class ColumnWriter:
+    """Accumulates one shard's traces and finishes into columns.
+
+    ``append`` stays allocation-light on purpose: per-hop router ids and
+    precomputed doubled cumulative latencies arrive as small arrays
+    (shared hop-template rows — appended by reference, not copied), and
+    the per-hop queueing noise arrives as raw unit draws.  ``finish``
+    performs the only vectorized work: one concatenate per hop column
+    and a single fused scale-and-add for the RTTs (*noise_scale* maps
+    unit draws onto milliseconds; ``scale * r`` is bit-identical to the
+    scalar path's ``uniform(0.0, scale)``).
+    """
+
+    __slots__ = ("schema", "_rows", "_counts", "_router_parts",
+                 "_cum_parts", "_noise", "_noise_scale")
+
+    def __init__(
+        self,
+        schema: ColumnSchema,
+        expected_traces: int = 0,
+        noise_scale: float = 1.0,
+    ):
+        self.schema = schema
+        self._noise_scale = noise_scale
+        self._rows: List[Tuple[int, int, int, int]] = []
+        self._counts: List[int] = []
+        self._router_parts: List[np.ndarray] = []
+        self._cum_parts: List[np.ndarray] = []
+        self._noise: List[float] = []
+
+    def append(
+        self,
+        src_city: int,
+        src_isp: int,
+        dst_city: int,
+        dst_isp: int,
+        router_ids: np.ndarray,
+        double_cum: np.ndarray,
+        noise: List[float],
+    ) -> None:
+        """One reached trace: endpoint ids, its hop-template rows, and
+        the per-hop unit noise draws from the trace's private RNG
+        stream (scaled by ``noise_scale`` at :meth:`finish`)."""
+        self._rows.append((src_city, src_isp, dst_city, dst_isp))
+        self._counts.append(len(router_ids))
+        self._router_parts.append(router_ids)
+        self._cum_parts.append(double_cum)
+        self._noise.extend(noise)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def finish(self) -> TraceColumns:
+        n = len(self._rows)
+        traces = np.zeros(n, dtype=TRACE_DTYPE)
+        if n:
+            rows = np.array(self._rows, dtype=np.int32)
+            traces["src_city"] = rows[:, 0]
+            traces["src_isp"] = rows[:, 1]
+            traces["dst_city"] = rows[:, 2]
+            traces["dst_isp"] = rows[:, 3]
+            traces["reached"] = True
+        hop_offsets = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum(self._counts, out=hop_offsets[1:])
+        if self._router_parts:
+            hop_router = np.concatenate(self._router_parts).astype(
+                np.int32, copy=False
+            )
+            # rtt = 2*one_way + noise, hop by hop: the doubled cumulative
+            # latencies come from the templates, the noise from each
+            # trace's own RNG stream — one fused vector op per shard.
+            hop_rtt = np.concatenate(self._cum_parts) + (
+                self._noise_scale
+                * np.asarray(self._noise, dtype=np.float64)
+            )
+        else:
+            hop_router = np.zeros(0, dtype=np.int32)
+            hop_rtt = np.zeros(0, dtype=np.float64)
+        return TraceColumns(
+            self.schema, traces, hop_offsets, hop_router, hop_rtt
+        )
+
+
+# ----------------------------------------------------------------------
+# Pickle-free disk serialization (np.save-style, used by the artifact
+# cache: a campaign artifact must never round-trip through pickle).
+# ----------------------------------------------------------------------
+def columns_to_npz_bytes(columns: TraceColumns) -> bytes:
+    """Serialize columns (and their string tables) as an npz payload."""
+    buf = io.BytesIO()
+    np.savez(
+        buf,
+        version=np.array([COLUMNS_FORMAT_VERSION], dtype=np.int64),
+        traces=columns.traces,
+        hop_offsets=columns.hop_offsets,
+        hop_router=columns.hop_router,
+        hop_rtt=columns.hop_rtt,
+        cities=np.array(columns.schema.cities, dtype=np.str_),
+        isps=np.array(columns.schema.isps, dtype=np.str_),
+        router_ips=np.array(columns.schema.router_ips, dtype=np.str_),
+        router_dns=np.array(columns.schema.router_dns, dtype=np.str_),
+        router_isps=np.array(
+            [isp for isp, _ in columns.schema.router_nodes], dtype=np.str_
+        ),
+        router_cities=np.array(
+            [city for _, city in columns.schema.router_nodes], dtype=np.str_
+        ),
+    )
+    return buf.getvalue()
+
+
+def columns_from_npz_bytes(payload: bytes) -> TraceColumns:
+    """Inverse of :func:`columns_to_npz_bytes` (``allow_pickle=False``)."""
+    with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != COLUMNS_FORMAT_VERSION:
+            raise ValueError(f"unsupported columns format {version}")
+        schema = ColumnSchema(
+            cities=data["cities"].tolist(),
+            isps=data["isps"].tolist(),
+            router_ips=data["router_ips"].tolist(),
+            router_dns=data["router_dns"].tolist(),
+            router_nodes=list(
+                zip(data["router_isps"].tolist(),
+                    data["router_cities"].tolist())
+            ),
+        )
+        return TraceColumns(
+            schema,
+            traces=data["traces"],
+            hop_offsets=data["hop_offsets"],
+            hop_router=data["hop_router"],
+            hop_rtt=data["hop_rtt"],
+        )

@@ -19,6 +19,7 @@ from repro.data.cities import city_by_name
 from repro.fibermap.elements import FiberMap
 from repro.obs.tracer import get_tracer
 from repro.perf.routing import RoutingCore, build_routing_core
+from repro.traceroute.columns import ColumnSchema, TraceColumns
 from repro.traceroute.geolocate import GeolocationDatabase, resolve_hop_city
 from repro.traceroute.probe import TracerouteRecord
 from repro.traceroute.topology import InternetTopology, _slug
@@ -71,6 +72,13 @@ class TrafficOverlay:
         self._path_cache: Dict[Tuple[str, str, str], Optional[Tuple[str, ...]]] = {}
         self._traces_processed = 0
         self._hops_unresolved = 0
+        #: Per-schema resolution tables for the columnar ingest path
+        #: (hop interpretation is deterministic per router, so it is
+        #: done once per router instead of once per hop).
+        self._schema_tables: Optional[
+            Tuple[ColumnSchema, List[Optional[str]], List[Optional[str]],
+                  List[float]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Hop interpretation
@@ -164,13 +172,111 @@ class TrafficOverlay:
             previous_city, previous_isp = city, isp
 
     def add_traces(self, records: Iterable[TracerouteRecord]) -> None:
-        """Overlay a batch of traceroutes (one ``overlay.add_traces`` span)."""
+        """Overlay a batch of traceroutes (one ``overlay.add_traces`` span).
+
+        A columnar campaign (:class:`TraceColumns`) streams through
+        :meth:`add_columns` instead of reconstructing record objects;
+        both ingest paths update exactly the same counters.
+        """
+        if isinstance(records, TraceColumns):
+            self.add_columns(records)
+            return
         tracer = get_tracer()
         before_processed = self._traces_processed
         before_unresolved = self._hops_unresolved
         with tracer.span("overlay.add_traces"):
             for record in records:
                 self.add_trace(record)
+            tracer.annotate(
+                traces_added=self._traces_processed - before_processed,
+                hops_unresolved=self._hops_unresolved - before_unresolved,
+                path_cache_entries=len(self._path_cache),
+                conduits_with_traffic=len(self._traffic),
+            )
+
+    def _tables_for(
+        self, schema: ColumnSchema
+    ) -> Tuple[List[Optional[str]], List[Optional[str]], List[float]]:
+        """Per-router ISP/city resolution plus per-city longitudes.
+
+        ``_isp_from_name`` and ``resolve_hop_city`` are pure functions
+        of one router's published DNS name and IP, so a campaign of
+        millions of hops needs them evaluated only once per router in
+        the schema — the columnar path then interprets hops with two
+        list lookups.
+        """
+        cached = self._schema_tables
+        if cached is not None and cached[0] is schema:
+            return cached[1], cached[2], cached[3]
+        router_isp = [
+            self._isp_from_name(dns) for dns in schema.router_dns
+        ]
+        router_city = [
+            resolve_hop_city(dns, ip, self._database)
+            for dns, ip in zip(schema.router_dns, schema.router_ips)
+        ]
+        city_lon = [city_by_name(c).lon for c in schema.cities]
+        self._schema_tables = (schema, router_isp, router_city, city_lon)
+        return router_isp, router_city, city_lon
+
+    def add_columns(
+        self, columns: TraceColumns, batch_size: int = 8192
+    ) -> None:
+        """Overlay a columnar campaign without materializing records.
+
+        Streams :meth:`TraceColumns.iter_batches` windows, so memory
+        stays bounded by one batch regardless of campaign size; the
+        per-hop interpretation (provider from DNS, city from
+        geolocation, conduit path between consecutive same-provider
+        cities) replicates :meth:`add_trace` decision for decision, and
+        the resulting traffic counters are identical.
+        """
+        tracer = get_tracer()
+        before_processed = self._traces_processed
+        before_unresolved = self._hops_unresolved
+        router_isp, router_city, city_lon = self._tables_for(columns.schema)
+        with tracer.span("overlay.add_traces"):
+            for batch in columns.iter_batches(batch_size):
+                traces = batch.traces
+                src_cities = traces["src_city"].tolist()
+                dst_cities = traces["dst_city"].tolist()
+                reached = traces["reached"].tolist()
+                offsets = batch.hop_offsets.tolist()
+                routers = batch.hop_router.tolist()
+                for i in range(len(batch)):
+                    lo = offsets[i]
+                    hi = offsets[i + 1]
+                    if not reached[i] or hi - lo < 2:
+                        continue
+                    self._traces_processed += 1
+                    direction = (
+                        WEST_TO_EAST
+                        if city_lon[src_cities[i]] <= city_lon[dst_cities[i]]
+                        else EAST_TO_WEST
+                    )
+                    previous_city: Optional[str] = None
+                    previous_isp: Optional[str] = None
+                    for h in range(lo, hi):
+                        router = routers[h]
+                        isp = router_isp[router]
+                        city = router_city[router]
+                        if city is None:
+                            self._hops_unresolved += 1
+                            previous_city, previous_isp = None, isp
+                            continue
+                        if (
+                            previous_city is not None
+                            and previous_isp is not None
+                            and isp == previous_isp
+                            and city != previous_city
+                        ):
+                            conduits = self._conduit_path(
+                                isp, previous_city, city
+                            )
+                            if conduits:
+                                for conduit_id in conduits:
+                                    self._count(conduit_id, direction, isp)
+                        previous_city, previous_isp = city, isp
             tracer.annotate(
                 traces_added=self._traces_processed - before_processed,
                 hops_unresolved=self._hops_unresolved - before_unresolved,

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import networkx as nx
+import numpy as np
 
 from repro.perf.routing import RoutingCore, build_routing_core
+from repro.traceroute.columns import ColumnSchema, ColumnWriter
 from repro.traceroute.topology import InternetTopology
 
 #: Client access-network delay added to every RTT sample, milliseconds.
@@ -49,6 +51,29 @@ class TracerouteRecord:
         return len(self.hops)
 
 
+@dataclass(frozen=True)
+class _HopTemplate:
+    """The deterministic part of every trace between one endpoint pair.
+
+    For a fixed (source node, destination node) the router path, MPLS
+    visibility, and accumulated one-way latencies never change — only
+    the per-hop queueing noise does.  Caching them as arrays turns the
+    per-trace work of the columnar path into endpoint draws plus one
+    noise draw per visible hop; the doubled cumulative latencies are
+    accumulated in exactly :meth:`ProbeEngine.trace`'s order, so
+    ``double_cum[j] + noise_j`` is bit-for-bit the scalar RTT.
+    """
+
+    src_city_id: int
+    src_isp_id: int
+    dst_city_id: int
+    dst_isp_id: int
+    #: Schema router ids of the *visible* hops.
+    router_ids: np.ndarray
+    #: ``2.0 * one_way`` at each visible hop (float64).
+    double_cum: np.ndarray
+
+
 class ProbeEngine:
     """Simulates traceroutes over an :class:`InternetTopology`.
 
@@ -72,13 +97,20 @@ class ProbeEngine:
         # implementation): campaigns probe few destinations from many
         # sources, so one Dijkstra per destination amortizes.
         self._pred_cache: Dict[Tuple[str, str], Dict] = {}
-        # Flat both-direction latency table: hop rendering touches one
-        # edge per hop, and a plain dict lookup beats building a
-        # NetworkX adjacency view every time.
-        self._edge_ms: Dict[Tuple[Tuple[str, str], Tuple[str, str]], float] = {}
-        for u, v, ms in topology.graph.edges(data="ms", default=0.0):
-            self._edge_ms[(u, v)] = ms
-            self._edge_ms[(v, u)] = ms
+        # Flat both-direction latency table, built lazily on the first
+        # hop rendering: campaign pool workers construct an engine per
+        # process, and walking every graph edge up front is startup
+        # cost they may never repay (the columnar path reads latencies
+        # out of cached hop templates instead).
+        self._edge_ms_table: Optional[
+            Dict[Tuple[Tuple[str, str], Tuple[str, str]], float]
+        ] = None
+        #: (src_node, dst_node) -> template, or False when unreachable.
+        self._hop_templates: Dict[
+            Tuple[Tuple[str, str], Tuple[str, str]],
+            Union[_HopTemplate, bool],
+        ] = {}
+        self._schema: Optional[ColumnSchema] = None
         core: Optional[RoutingCore] = None
         if use_array_core is not False:
             # InternetTopology shares one compiled core per topology;
@@ -99,6 +131,20 @@ class ProbeEngine:
     @property
     def uses_array_core(self) -> bool:
         return self._core is not None
+
+    @property
+    def _edge_ms(
+        self,
+    ) -> Dict[Tuple[Tuple[str, str], Tuple[str, str]], float]:
+        table = self._edge_ms_table
+        if table is None:
+            table = {}
+            graph = self._topology.graph
+            for u, v, ms in graph.edges(data="ms", default=0.0):
+                table[(u, v)] = ms
+                table[(v, u)] = ms
+            self._edge_ms_table = table
+        return table
 
     # ------------------------------------------------------------------
     def prepare_destinations(self, dst_nodes) -> int:
@@ -209,3 +255,113 @@ class ProbeEngine:
             hops=tuple(hops),
             reached=True,
         )
+
+    # ------------------------------------------------------------------
+    # Columnar batch path
+    # ------------------------------------------------------------------
+    def column_schema(self) -> ColumnSchema:
+        """The interned string tables of this engine's topology."""
+        if self._schema is None:
+            self._schema = ColumnSchema.from_topology(self._topology)
+        return self._schema
+
+    def begin_columns(self, expected_traces: int = 0) -> ColumnWriter:
+        """A fresh shard writer bound to this topology's schema."""
+        return ColumnWriter(
+            self.column_schema(), expected_traces,
+            noise_scale=QUEUE_NOISE_MS,
+        )
+
+    def _hop_template(
+        self, src_node: Tuple[str, str], dst_node: Tuple[str, str]
+    ) -> Union[_HopTemplate, bool]:
+        """Cached per-endpoint-pair hop arrays (False = unreachable).
+
+        Replays :meth:`trace`'s loop once per endpoint pair — same path,
+        same MPLS visibility rule, same float accumulation order — and
+        freezes the result as arrays.  Campaigns revisit pairs heavily
+        (a 20k campaign already has fewer distinct pairs than traces),
+        so at paper scale almost every trace is a cache hit.
+        """
+        key = (src_node, dst_node)
+        template = self._hop_templates.get(key)
+        if template is not None:
+            return template
+        topology = self._topology
+        src_isp, src_city = src_node
+        dst_isp, dst_city = dst_node
+        path = None
+        if topology.has_router(*src_node) and topology.has_router(*dst_node):
+            path = self._route(src_node, dst_node)
+        if path is None:
+            self._hop_templates[key] = False
+            return False
+        schema = self.column_schema()
+        edge_ms = self._edge_ms
+        router_ids: List[int] = []
+        double_cum: List[float] = []
+        one_way = ACCESS_DELAY_MS / 2.0
+        previous = None
+        for index, node in enumerate(path):
+            if previous is not None:
+                one_way += edge_ms[(previous, node)]
+            previous = node
+            isp, _city = node
+            if topology.uses_mpls(isp):
+                is_edge_of_isp = (
+                    index == 0
+                    or index == len(path) - 1
+                    or path[index - 1][0] != isp
+                    or path[index + 1][0] != isp
+                )
+                if not is_edge_of_isp:
+                    continue
+            router_ids.append(schema.router_index[node])
+            double_cum.append(2.0 * one_way)
+        template = _HopTemplate(
+            src_city_id=schema.city_index[src_city],
+            src_isp_id=schema.isp_index[src_isp],
+            dst_city_id=schema.city_index[dst_city],
+            dst_isp_id=schema.isp_index[dst_isp],
+            router_ids=np.asarray(router_ids, dtype=np.int32),
+            double_cum=np.asarray(double_cum, dtype=np.float64),
+        )
+        self._hop_templates[key] = template
+        return template
+
+    def trace_into(
+        self,
+        writer: ColumnWriter,
+        src_city: str,
+        src_isp: str,
+        dst_city: str,
+        dst_isp: str,
+        rng: random.Random,
+    ) -> bool:
+        """Columnar :meth:`trace`: append one trace's columns to *writer*.
+
+        Returns whether the destination was reached; an unreachable pair
+        appends nothing and draws nothing, exactly like :meth:`trace`'s
+        empty record.  The RNG consumption (one draw per visible hop,
+        in hop order) matches :meth:`trace` draw for draw — raw
+        ``random()`` values here, scaled by ``QUEUE_NOISE_MS`` in the
+        writer's vectorized finish, equal ``uniform(0.0,
+        QUEUE_NOISE_MS)`` bit for bit — which is what keeps columnar
+        campaigns byte-identical to the object path.
+        """
+        template = self._hop_template(
+            (src_isp, src_city), (dst_isp, dst_city)
+        )
+        if template is False:
+            return False
+        draw = rng.random
+        writer.append(
+            template.src_city_id,
+            template.src_isp_id,
+            template.dst_city_id,
+            template.dst_isp_id,
+            template.router_ids,
+            template.double_cum,
+            [draw() for _ in template.router_ids],
+        )
+        return True

@@ -126,6 +126,84 @@ class TestCampaignCrashRecovery:
         assert "campaign.degraded" in names
 
 
+def _repro_shm_entries():
+    """Names of this package's shared-memory segments left on disk."""
+    from pathlib import Path
+
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        pytest.skip("platform exposes no /dev/shm to inspect")
+    return sorted(p.name for p in shm.glob("repro-*"))
+
+
+class TestSharedMemoryHygiene:
+    """Shard segments must never outlive the campaign that made them."""
+
+    def test_no_segments_leak_after_faulted_campaign(self, topology):
+        before = _repro_shm_entries()
+        config = CampaignConfig(num_traces=600, seed=47, retry_backoff_s=0.01)
+        with fault_injection(FaultPlan(seed=1, crash_shards=(0, 250))):
+            run_campaign(topology, config, workers=2)
+        assert _repro_shm_entries() == before
+
+    def test_no_segments_leak_after_clean_sharded_run(self, topology):
+        before = _repro_shm_entries()
+        config = CampaignConfig(num_traces=600, seed=47)
+        run_campaign(topology, config, workers=2)
+        assert _repro_shm_entries() == before
+
+    def test_zero_size_stale_segment_is_displaced(self):
+        # A worker killed between shm_open and ftruncate (the executor
+        # tears down siblings when one worker dies) leaves a zero-size
+        # segment that SharedMemory(name=...) cannot map.  Both the
+        # shard replay and the janitor must displace it anyway.
+        from repro.traceroute import campaign as campaign_mod
+
+        if campaign_mod._posixshmem is None:
+            pytest.skip("no POSIX shared memory on this platform")
+        name = "repro-test-stale-0"
+        fd = campaign_mod._posixshmem.shm_open(
+            "/" + name, os.O_CREAT | os.O_RDWR | os.O_EXCL, 0o600
+        )
+        os.close(fd)
+        assert name in _repro_shm_entries()
+        segment = campaign_mod._create_segment(name, 64)
+        try:
+            assert segment.size >= 64
+        finally:
+            segment.unlink()
+            segment.close()
+        assert name not in _repro_shm_entries()
+        # The janitor path on a (well-formed or malformed) leftover:
+        fd = campaign_mod._posixshmem.shm_open(
+            "/" + name, os.O_CREAT | os.O_RDWR | os.O_EXCL, 0o600
+        )
+        os.close(fd)
+        campaign_mod._unlink_stale_segment(name)
+        assert name not in _repro_shm_entries()
+
+    def test_segments_swept_when_parent_stitch_fails(
+        self, topology, monkeypatch
+    ):
+        # Simulate a parent-side failure (the KeyboardInterrupt /
+        # mid-stitch crash case): every shard has already landed in
+        # shared memory, then the stitch explodes.  The janitor's
+        # finally-sweep must still unlink every expected segment.
+        from repro.traceroute import campaign as campaign_mod
+
+        class _ExplodingColumns:
+            @staticmethod
+            def concatenate(schema, parts):
+                raise RuntimeError("injected stitch failure")
+
+        before = _repro_shm_entries()
+        monkeypatch.setattr(campaign_mod, "TraceColumns", _ExplodingColumns)
+        config = CampaignConfig(num_traces=600, seed=47)
+        with pytest.raises(RuntimeError, match="injected stitch failure"):
+            run_campaign(topology, config, workers=2)
+        assert _repro_shm_entries() == before
+
+
 class TestConcurrentCacheWriters:
     def test_two_writers_on_one_key_never_corrupt(self, tmp_path):
         rounds = 12
