@@ -21,14 +21,23 @@ Commands
                            state, targeted cache eviction (stage plus
                            dependents), or structural validation of the
                            graph and every experiment's ``requires``
+``latency <cityA> <cityB>`` shortest-path propagation delay between two
+                           cities (a service-layer distance query)
+``serve``                  the always-on what-if service: warm scenarios
+                           resident in memory behind an HTTP/JSON API
+
+The what-if verbs (``cut``, ``audit``, ``latency``, ``exchange``) build
+a typed :mod:`repro.service.schema` request and dispatch through the
+same handlers as the HTTP service, so ``--json`` prints exactly the
+body ``POST /v1/query`` would return.
 
 Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size
 (default 20000, the library's ``DEFAULT_CAMPAIGN_TRACES``), ``--workers N``
 campaign worker processes (0 = one per core), ``--cache-dir PATH`` /
 ``--no-cache`` to control the artifact cache, ``--trace PATH`` to record a
 JSON run manifest of every traced stage, and ``--json`` for
-machine-readable output (``run``, ``audit``, ``cut``, ``cache info``,
-``cache prune``).
+machine-readable output (``run``, ``audit``, ``cut``, ``latency``,
+``exchange``, ``cache info``, ``cache prune``).
 """
 
 from __future__ import annotations
@@ -74,7 +83,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="machine-readable JSON output (run, audit, cut, cache info)",
+        help="machine-readable JSON output (run, audit, cut, latency, "
+             "exchange, cache info)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -100,6 +110,40 @@ def _build_parser() -> argparse.ArgumentParser:
     cut = sub.add_parser("cut", help="assess a right-of-way cut")
     cut.add_argument("city_a")
     cut.add_argument("city_b")
+
+    latency = sub.add_parser(
+        "latency",
+        help="shortest-path propagation delay between two cities",
+    )
+    latency.add_argument("city_a")
+    latency.add_argument("city_b")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on what-if service (HTTP/JSON query API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8310,
+        help="listen port (0 binds an ephemeral port; default 8310)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batching window: how long the first concurrent "
+             "latency query waits for stragglers before one batched "
+             "Dijkstra solve (default 2 ms)",
+    )
+    serve.add_argument(
+        "--scenario", action="append", metavar="NAME=SEED[:TRACES]",
+        default=None,
+        help="serve an extra named scenario variant alongside "
+             "'default' (repeatable); TRACES falls back to --traces",
+    )
+    serve.add_argument(
+        "--no-warm", action="store_true",
+        help="skip the background stage warm-up (queries then build "
+             "stages on first touch)",
+    )
 
     annotate = sub.add_parser(
         "annotate", help="export the traffic/delay-annotated map"
@@ -163,8 +207,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_json(payload: Any) -> None:
-    print(json.dumps(payload, indent=2, sort_keys=False))
+def _emit_json(payload: Any) -> None:
+    """The single ``--json`` emitter.
+
+    Every subcommand's payload — plain dicts, typed responses,
+    dataclasses — passes through one ``to_jsonable``-based canonical
+    rendering (:func:`repro.service.schema.encode_json`), the same one
+    the HTTP server uses, so CLI and service bytes are comparable.
+    """
+    from repro.service.schema import encode_json
+
+    print(encode_json(payload))
 
 
 def _cmd_experiments() -> int:
@@ -194,7 +247,7 @@ def _cmd_run(scenario: Scenario, ids: List[str], as_json: bool) -> int:
             print(result.text)
             print()
     if as_json:
-        _print_json(results)
+        _emit_json(results)
     return 0
 
 
@@ -223,45 +276,29 @@ def _cmd_layers(scenario: Scenario) -> int:
 
 
 def _cmd_audit(scenario: Scenario, isp: str, as_json: bool) -> int:
-    from repro.mitigation.robustness import optimize_isp_around_conduits
-    from repro.risk.metrics import isp_ranking
+    from repro.service.schema import AuditRequest
 
-    matrix = scenario.risk_matrix
-    if isp not in matrix.isps:
-        print(
-            f"unknown ISP {isp!r}; known: {', '.join(matrix.isps)}",
-            file=sys.stderr,
-        )
+    return _run_query(scenario, AuditRequest(isp=isp), as_json)
+
+
+def _run_query(scenario: Scenario, request: Any, as_json: bool) -> int:
+    """Dispatch a typed request through the shared service handlers.
+
+    ``--json`` prints exactly the body the HTTP endpoint returns for
+    the same request; otherwise the shared human-readable rendering.
+    """
+    from repro.service.render import render_response
+    from repro.service.schema import QueryError
+
+    try:
+        response = scenario.query(request)
+    except QueryError as error:
+        print(error.message, file=sys.stderr)
         return 2
-    ranking = isp_ranking(matrix)
-    position = next(i for i, r in enumerate(ranking) if r.isp == isp)
-    row = ranking[position]
-    suggestion = optimize_isp_around_conduits(
-        scenario.constructed_map, matrix, isp
-    )
     if as_json:
-        _print_json({
-            "isp": isp,
-            "average_sharing": row.average,
-            "rank": position + 1,
-            "ranked_isps": len(ranking),
-            "num_conduits": row.num_conduits,
-            "robustness": {
-                "reroutes": len(suggestion.outcomes),
-                "avg_path_inflation": suggestion.avg_pi,
-                "avg_shared_risk_reduction": suggestion.avg_srr,
-            },
-        })
+        _emit_json(response.to_json())
         return 0
-    print(
-        f"{isp}: average sharing {row.average:.2f} "
-        f"(rank {position + 1}/{len(ranking)}), "
-        f"{row.num_conduits} conduits"
-    )
-    print(
-        f"robustness suggestion: {len(suggestion.outcomes)} reroutes, "
-        f"avg PI {suggestion.avg_pi:.1f}, avg SRR {suggestion.avg_srr:.1f}"
-    )
+    print(render_response(response))
     return 0
 
 
@@ -287,7 +324,7 @@ def _cmd_campaign(scenario: Scenario, as_json: bool) -> int:
         "records_per_second": rate,
     }
     if as_json:
-        _print_json(payload)
+        _emit_json(payload)
         return 0
     print(
         f"campaign: {num} traces ({reached} reached, "
@@ -310,68 +347,21 @@ def _cmd_campaign(scenario: Scenario, as_json: bool) -> int:
 def _cmd_cut(
     scenario: Scenario, city_a: str, city_b: str, as_json: bool
 ) -> int:
-    from repro.resilience import assess_cut, edge_cut, traffic_shift
+    from repro.service.schema import CutRequest
 
-    fiber_map = scenario.constructed_map
-    try:
-        event = edge_cut(fiber_map, city_a, city_b)
-    except KeyError as error:
-        print(error, file=sys.stderr)
-        return 2
-    impact = assess_cut(fiber_map, event, scenario.overlay)
-    shift = traffic_shift(
-        scenario.topology, event, scenario.campaign, max_traces=800
+    return _run_query(
+        scenario, CutRequest(city_a=city_a, city_b=city_b), as_json
     )
-    if as_json:
-        _print_json({
-            "event": {
-                "description": event.description,
-                "conduits_severed": event.size,
-            },
-            "impact": {
-                "isps_affected": impact.isps_affected,
-                "total_links_hit": impact.total_links_hit,
-                "total_pairs_disconnected": impact.total_pairs_disconnected,
-                "probes_affected": impact.probes_affected,
-                "per_isp": [
-                    {
-                        "isp": item.isp,
-                        "links_hit": item.links_hit,
-                        "pairs_disconnected": item.pairs_disconnected,
-                        "mean_reroute_delay_ms": item.mean_reroute_delay_ms,
-                    }
-                    for item in impact.per_isp
-                    if item.links_hit > 0
-                ],
-            },
-            "traffic_shift": {
-                "affected_fraction": shift.affected_fraction,
-                "mean_inflation_ms": shift.mean_inflation_ms,
-                "traces_blackholed": shift.traces_blackholed,
-            },
-        })
-        return 0
-    print(f"{event.description}: {event.size} conduit(s) severed")
-    print(
-        f"providers affected: {impact.isps_affected}; links hit: "
-        f"{impact.total_links_hit}; POP pairs disconnected: "
-        f"{impact.total_pairs_disconnected}; probes crossing: "
-        f"{impact.probes_affected}"
+
+
+def _cmd_latency(
+    scenario: Scenario, city_a: str, city_b: str, as_json: bool
+) -> int:
+    from repro.service.schema import LatencyRequest
+
+    return _run_query(
+        scenario, LatencyRequest(city_a=city_a, city_b=city_b), as_json
     )
-    for item in impact.per_isp:
-        if item.links_hit == 0:
-            continue
-        print(
-            f"  {item.isp}: {item.links_hit} links, "
-            f"{item.pairs_disconnected} disconnected, reroute "
-            f"+{item.mean_reroute_delay_ms:.2f} ms avg"
-        )
-    print(
-        f"traffic shift: {shift.affected_fraction:.1%} of traces affected, "
-        f"mean +{shift.mean_inflation_ms:.2f} ms, "
-        f"{shift.traces_blackholed} black-holed"
-    )
-    return 0
 
 
 def _cmd_annotate(scenario: Scenario, geojson: Optional[str]) -> int:
@@ -470,31 +460,69 @@ def _cmd_partition(scenario: Scenario) -> int:
     return 0
 
 
-def _cmd_exchange(scenario: Scenario, num_conduits: int) -> int:
-    from repro.analysis.report import format_table
-    from repro.mitigation.exchange import plan_exchange
+def _cmd_exchange(
+    scenario: Scenario, num_conduits: int, as_json: bool
+) -> int:
+    from repro.service.schema import ExchangeRequest
 
-    conduits = plan_exchange(
-        scenario.constructed_map,
-        scenario.network,
-        list(scenario.isps),
-        num_conduits=num_conduits,
+    return _run_query(
+        scenario, ExchangeRequest(num_conduits=num_conduits), as_json
+    )
+
+
+def _cmd_serve(scenario: Scenario, args: argparse.Namespace, tracer) -> int:
+    from repro.service.registry import ScenarioRegistry
+    from repro.service.server import ServiceApp, make_server
+
+    registry = ScenarioRegistry(
+        batch_window_s=max(0.0, args.batch_window_ms) / 1000.0
+    )
+    registry.add("default", scenario=scenario)
+    base = scenario.config
+    for spec in args.scenario or []:
+        name, _, params = spec.partition("=")
+        seed_part, _, traces_part = params.partition(":")
+        try:
+            if not name or not seed_part:
+                raise ValueError(spec)
+            seed = int(seed_part)
+            traces = (
+                int(traces_part) if traces_part else base.campaign_traces
+            )
+            variant = ScenarioConfig(
+                seed=seed,
+                campaign_traces=traces,
+                workers=base.workers,
+                cache=base.cache,
+            )
+            registry.add(name, scenario=us2015(config=variant))
+        except ValueError as error:
+            print(
+                f"bad --scenario spec {spec!r} "
+                f"(want NAME=SEED[:TRACES]): {error}",
+                file=sys.stderr,
+            )
+            return 2
+    app = ServiceApp(registry, tracer=tracer)
+    server = make_server(app, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    if not args.no_warm:
+        registry.warm_all_async()
+    print(
+        f"repro what-if service on http://{host}:{port} "
+        f"(scenarios: {', '.join(registry.names())})"
     )
     print(
-        format_table(
-            ("conduit", "km", "members", "best savings"),
-            [
-                (
-                    f"{c.edge[0]} - {c.edge[1]}",
-                    f"{c.length_km:.0f}",
-                    c.num_members,
-                    f"x{max(m.savings_factor for m in c.members):.0f}",
-                )
-                for c in conduits
-            ],
-            title="conduit exchange plan",
-        )
+        "endpoints: GET /healthz, GET /v1/manifest, "
+        "POST /v1/query, POST /v1/batch",
+        flush=True,
     )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
     return 0
 
 
@@ -519,7 +547,7 @@ def _cmd_cache(
                 bucket["size_bytes"] += entry.size_bytes
             orphans = cache.orphan_tmp_files()
             quarantined = cache.quarantined_files()
-            _print_json({
+            _emit_json({
                 "root": str(cache.root),
                 "artifacts": len(entries),
                 "size_bytes": sum(e.size_bytes for e in entries),
@@ -534,7 +562,7 @@ def _cmd_cache(
         max_bytes = None if max_mb is None else int(max_mb * 1e6)
         result = cache.prune(max_bytes=max_bytes)
         if as_json:
-            _print_json({
+            _emit_json({
                 "root": str(cache.root),
                 "evicted": result.evicted,
                 "orphans_swept": result.orphans_swept,
@@ -568,7 +596,7 @@ def _cmd_graph(
     if action == "show":
         rows = graph.describe()
         if as_json:
-            _print_json(rows)
+            _emit_json(rows)
             return 0
         print(f"{len(rows)} stages (topological order):")
         for row in rows:
@@ -606,7 +634,7 @@ def _cmd_graph(
                     f"required stages"
                 )
         if as_json:
-            _print_json({"ok": not problems, "problems": problems})
+            _emit_json({"ok": not problems, "problems": problems})
         elif problems:
             for problem in problems:
                 print(problem, file=sys.stderr)
@@ -620,7 +648,7 @@ def _cmd_graph(
         if action == "explain":
             info = graph.explain(stage)
             if as_json:
-                _print_json(info)
+                _emit_json(info)
                 return 0
             print(f"stage: {info['stage']}")
             print(f"  {info['doc']}")
@@ -651,7 +679,7 @@ def _cmd_graph(
         removed = graph.invalidate(stage)
         affected = [stage, *graph.dependents(stage)]
         if as_json:
-            _print_json({
+            _emit_json({
                 "stage": stage,
                 "affected": affected,
                 "artifacts_removed": removed,
@@ -730,6 +758,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign(scenario, args.json)
         if args.command == "cut":
             return _cmd_cut(scenario, args.city_a, args.city_b, args.json)
+        if args.command == "latency":
+            return _cmd_latency(
+                scenario, args.city_a, args.city_b, args.json
+            )
+        if args.command == "serve":
+            return _cmd_serve(scenario, args, tracer)
         if args.command == "annotate":
             return _cmd_annotate(scenario, args.geojson)
         if args.command == "pareto":
@@ -739,7 +773,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         if args.command == "partition":
             return _cmd_partition(scenario)
         if args.command == "exchange":
-            return _cmd_exchange(scenario, args.conduits)
+            return _cmd_exchange(scenario, args.conduits, args.json)
         if args.command == "graph":
             return _cmd_graph(scenario, args.action, args.stage, args.json)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -10,6 +10,7 @@ an ``ExperimentResult`` still unpacks like the legacy
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
@@ -196,6 +197,12 @@ class ExperimentResult:
 
     def __iter__(self) -> Iterator[Any]:
         """Deprecated: unpack as the legacy ``(result, text)`` pair."""
+        warnings.warn(
+            "unpacking ExperimentResult as a (data, text) tuple is "
+            "deprecated; use the named .data and .text fields",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         yield self.data
         yield self.text
 

@@ -411,6 +411,28 @@ class Scenario:
     def isps(self) -> Tuple[str, ...]:
         return tuple(p.name for p in self.ground_truth.profiles)
 
+    # -- the typed query API -------------------------------------------
+    def query(self, request: Any) -> Any:
+        """Answer one typed what-if query against this scenario.
+
+        *request* is either a :mod:`repro.service.schema` request
+        dataclass (``CutRequest``, ``LatencyRequest``, ...) or the
+        equivalent JSON mapping (``{"v": 1, "kind": "cut", ...}``),
+        which is parsed and validated first.  Dispatches through the
+        same handlers as the HTTP service and the CLI what-if verbs, so
+        all three frontends give identical answers.  Raises
+        :class:`repro.service.schema.QueryError` on validation or
+        lookup failures.
+        """
+        from collections.abc import Mapping
+
+        from repro.service.handlers import handle_query
+        from repro.service.schema import parse_request
+
+        if isinstance(request, Mapping):
+            request = parse_request(request)
+        return handle_query(self, request)
+
 
 @lru_cache(maxsize=4)
 def _us2015_for_config(config: ScenarioConfig) -> Scenario:

@@ -1,0 +1,162 @@
+"""Human-readable renderings of typed query responses.
+
+The CLI prints exactly these strings.  For the verbs that predate the
+service layer (``cut``, ``audit``, ``exchange``) the output is
+byte-identical to the historical ad-hoc formatting — the redesign moved
+the *data path* onto the shared handlers without moving a single glyph
+of the text contract.
+"""
+
+from __future__ import annotations
+
+from repro.service.schema import (
+    AddConduitResponse,
+    AuditResponse,
+    CutResponse,
+    ExchangeResponse,
+    LatencyResponse,
+    QueryResponse,
+    RiskSliceResponse,
+)
+
+
+def render_cut(response: CutResponse) -> str:
+    lines = [
+        f"{response.description}: "
+        f"{response.conduits_severed} conduit(s) severed",
+        f"providers affected: {response.isps_affected}; links hit: "
+        f"{response.total_links_hit}; POP pairs disconnected: "
+        f"{response.total_pairs_disconnected}; probes crossing: "
+        f"{response.probes_affected}",
+    ]
+    for item in response.per_isp:
+        lines.append(
+            f"  {item.isp}: {item.links_hit} links, "
+            f"{item.pairs_disconnected} disconnected, reroute "
+            f"+{item.mean_reroute_delay_ms:.2f} ms avg"
+        )
+    lines.append(
+        f"traffic shift: {response.affected_fraction:.1%} of traces "
+        f"affected, mean +{response.mean_inflation_ms:.2f} ms, "
+        f"{response.traces_blackholed} black-holed"
+    )
+    return "\n".join(lines)
+
+
+def render_audit(response: AuditResponse) -> str:
+    return "\n".join([
+        f"{response.isp}: average sharing {response.average_sharing:.2f} "
+        f"(rank {response.rank}/{response.ranked_isps}), "
+        f"{response.num_conduits} conduits",
+        f"robustness suggestion: {response.reroutes} reroutes, "
+        f"avg PI {response.avg_path_inflation:.1f}, "
+        f"avg SRR {response.avg_shared_risk_reduction:.1f}",
+    ])
+
+
+def render_latency(response: LatencyResponse) -> str:
+    if not response.reachable:
+        return f"no path between {response.city_a} and {response.city_b}"
+    via = " - ".join(response.path)
+    return "\n".join([
+        f"{response.city_a} <-> {response.city_b}: "
+        f"{response.delay_ms:.2f} ms ({response.length_km:.0f} km, "
+        f"{response.hops} conduit hops)",
+        f"  via: {via}",
+    ])
+
+
+def render_add(response: AddConduitResponse) -> str:
+    lines = [
+        f"new conduit {response.city_a} - {response.city_b}: "
+        f"{response.length_km:.0f} km, {response.delay_ms:.2f} ms"
+    ]
+    if response.baseline_delay_ms is None:
+        lines.append("baseline: endpoints currently disconnected")
+    else:
+        lines.append(
+            f"baseline shortest path: {response.baseline_delay_ms:.2f} ms"
+        )
+    if response.improves_map:
+        lines.append(
+            f"improves shortest paths from {response.city_a} to "
+            f"{response.cities_improved} city(ies)"
+        )
+    else:
+        lines.append("no improvement: an equal-or-better conduit exists")
+    return "\n".join(lines)
+
+
+def render_risk(response: RiskSliceResponse) -> str:
+    from repro.analysis.report import format_table
+
+    rows = [
+        (row.conduit_id, f"{row.city_a} - {row.city_b}", row.tenants)
+        for row in response.top_conduits
+    ]
+    if response.isp is None:
+        table = format_table(
+            ("conduit", "edge", "tenants"),
+            rows,
+            title="most shared conduits",
+        )
+        fractions = "; ".join(
+            f">={k}: {fraction:.1%}"
+            for k, fraction in response.sharing_fractions
+        )
+        return "\n".join([
+            table,
+            f"{response.num_conduits} conduits x {response.num_isps} "
+            f"ISPs; shared {fractions}",
+        ])
+    table = format_table(
+        ("conduit", "edge", "tenants"),
+        rows,
+        title=f"most shared conduits of {response.isp}",
+    )
+    return "\n".join([
+        table,
+        f"{response.isp}: average sharing {response.average:.2f} "
+        f"(rank {response.rank}/{response.ranked_isps}), "
+        f"{response.num_conduits} conduits",
+    ])
+
+
+def render_exchange(response: ExchangeResponse) -> str:
+    from repro.analysis.report import format_table
+
+    return format_table(
+        ("conduit", "km", "members", "best savings"),
+        [
+            (
+                f"{row.city_a} - {row.city_b}",
+                f"{row.length_km:.0f}",
+                row.num_members,
+                f"x{row.best_savings_factor:.0f}",
+            )
+            for row in response.conduits
+        ],
+        title="conduit exchange plan",
+    )
+
+
+_RENDERERS = {
+    "cut.result": render_cut,
+    "add.result": render_add,
+    "audit.result": render_audit,
+    "latency.result": render_latency,
+    "risk.result": render_risk,
+    "exchange.result": render_exchange,
+}
+
+
+def render_response(response: QueryResponse) -> str:
+    """The human-readable form of any response (experiments carry their
+    own formatted text)."""
+    renderer = _RENDERERS.get(response.kind)
+    if renderer is not None:
+        return renderer(response)
+    text = getattr(response, "text", None)
+    if text is not None:
+        return text
+    return str(response.to_json())  # pragma: no cover - no such kind yet

@@ -1,0 +1,203 @@
+"""CI smoke test for the what-if service: ``python -m repro.service.smoke``.
+
+Boots the real HTTP stack on an ephemeral port (warm-up included),
+issues cut, latency, and risk-slice queries over actual sockets, and
+checks three properties:
+
+1. **Pinned goldens** — the canonical seed-2015 answers (conduit
+   counts, top shared conduits, the Denver-Chicago shortest path) match
+   exactly; any drift in the scenario pipeline or the query layer
+   fails the job.
+2. **Frontend identity** — every HTTP response body is byte-identical
+   to what the CLI's ``--json`` path produces for the same typed
+   request (both render through one canonical encoder).
+3. **Lifecycle** — ``/healthz`` reports 503 before warm-up and 200
+   after; the server shuts down cleanly.
+
+Exits non-zero with a diagnostic on any mismatch.  The scenario is
+intentionally small (1000 traces) so the whole job runs in CI time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Tuple
+
+#: Smoke scenario shape: small but big enough for stable orderings.
+SEED = 2015
+TRACES = 1000
+
+#: Pinned golden facts for (seed=2015, traces=1000).  These are exact:
+#: every value derives deterministically from the scenario seed.
+GOLDEN_RISK = {
+    "num_conduits": 598,
+    "num_isps": 20,
+    "top_conduit": "C0060",
+    "top_conduit_tenants": 15,
+}
+GOLDEN_CUT = {
+    "conduits_severed": 1,
+    "isps_affected": 14,
+}
+GOLDEN_LATENCY = {
+    "reachable": True,
+    "hops": 7,
+    "path_starts": "Denver, CO",
+    "path_ends": "Chicago, IL",
+    "delay_ms_rounded": 7.51,
+}
+
+
+def _request(
+    url: str, payload: Any = None
+) -> Tuple[int, bytes]:
+    req = urllib.request.Request(
+        url,
+        data=(
+            None if payload is None
+            else json.dumps(payload).encode("utf-8")
+        ),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        _fail(message)
+
+
+def main() -> int:
+    from repro.scenario import ScenarioConfig, us2015
+    from repro.service.registry import ScenarioRegistry
+    from repro.service.schema import encode_json, parse_request
+    from repro.service.server import ServiceApp, make_server
+
+    scenario = us2015(
+        config=ScenarioConfig(seed=SEED, campaign_traces=TRACES)
+    )
+    registry = ScenarioRegistry()
+    registry.add("default", scenario=scenario)
+    app = ServiceApp(registry, tracer=None)
+    server = make_server(app, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"smoke: service on {base}")
+
+    try:
+        # Lifecycle: cold registry -> 503, warmed -> 200.
+        status, _ = _request(f"{base}/healthz")
+        _check(status == 503, f"healthz before warm-up: {status} != 503")
+        registry.warm_all_async()
+        _check(registry.wait_ready(timeout=600), "warm-up did not finish")
+        status, body = _request(f"{base}/healthz")
+        _check(status == 200, f"healthz after warm-up: {status} != 200")
+        print("smoke: warm-up lifecycle ok")
+
+        queries = {
+            "cut": {
+                "v": 1, "kind": "cut",
+                "city_a": "Phoenix, AZ", "city_b": "Tucson, AZ",
+            },
+            "latency": {
+                "v": 1, "kind": "latency",
+                "city_a": "Denver, CO", "city_b": "Chicago, IL",
+            },
+            "risk": {"v": 1, "kind": "risk", "top": 5},
+        }
+        answers: Dict[str, Dict[str, Any]] = {}
+        for name, payload in queries.items():
+            status, body = _request(f"{base}/v1/query", payload)
+            _check(status == 200, f"{name} query: HTTP {status}")
+            # Frontend identity: the HTTP body must be byte-for-byte
+            # what the CLI --json path emits for the same request.
+            local = scenario.query(parse_request(payload))
+            expected = (encode_json(local.to_json()) + "\n").encode()
+            _check(
+                body == expected,
+                f"{name}: HTTP body differs from the CLI --json bytes",
+            )
+            answers[name] = json.loads(body)
+            print(f"smoke: {name} query ok ({len(body)} bytes)")
+
+        risk = answers["risk"]
+        _check(
+            risk["num_conduits"] == GOLDEN_RISK["num_conduits"],
+            f"risk.num_conduits {risk['num_conduits']} != "
+            f"{GOLDEN_RISK['num_conduits']}",
+        )
+        _check(
+            risk["num_isps"] == GOLDEN_RISK["num_isps"],
+            f"risk.num_isps {risk['num_isps']} != {GOLDEN_RISK['num_isps']}",
+        )
+        top = risk["top_conduits"][0]
+        _check(
+            top["conduit_id"] == GOLDEN_RISK["top_conduit"]
+            and top["tenants"] == GOLDEN_RISK["top_conduit_tenants"],
+            f"risk top conduit {top} != {GOLDEN_RISK}",
+        )
+
+        latency = answers["latency"]
+        _check(
+            latency["reachable"] is GOLDEN_LATENCY["reachable"]
+            and latency["hops"] == GOLDEN_LATENCY["hops"]
+            and latency["path"][0] == GOLDEN_LATENCY["path_starts"]
+            and latency["path"][-1] == GOLDEN_LATENCY["path_ends"]
+            and round(latency["delay_ms"], 2)
+            == GOLDEN_LATENCY["delay_ms_rounded"],
+            f"latency answer drifted: {latency}",
+        )
+
+        cut = answers["cut"]
+        _check(
+            cut["kind"] == "cut.result"
+            and cut["event"]["conduits_severed"]
+            == GOLDEN_CUT["conduits_severed"],
+            f"cut answer drifted: {cut.get('event')}",
+        )
+        _check(
+            cut["impact"]["isps_affected"] == GOLDEN_CUT["isps_affected"]
+            and cut["impact"]["total_links_hit"] >= 1,
+            f"cut impact drifted: {cut['impact']['isps_affected']} ISPs, "
+            f"{cut['impact']['total_links_hit']} links",
+        )
+        print("smoke: pinned goldens ok")
+
+        # Structured errors: unknown city -> 404 with a typed payload.
+        status, body = _request(
+            f"{base}/v1/query",
+            {"v": 1, "kind": "latency",
+             "city_a": "Denver, CO", "city_b": "Nowhere, XX"},
+        )
+        error = json.loads(body)
+        _check(
+            status == 404 and error["error"]["code"] == "unknown_city",
+            f"error path: HTTP {status}, {error}",
+        )
+        print("smoke: structured error path ok")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    _check(not thread.is_alive(), "server thread did not stop")
+    print("smoke: clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,8 +50,10 @@ class TestExperimentResult:
         assert result.data.total_links == 1258
         assert "EarthLink" in result.text
 
-    def test_legacy_tuple_unpack_still_works(self, scenario):
-        data, text = run_experiment("table1", scenario)
+    def test_legacy_tuple_unpack_still_works_but_warns(self, scenario):
+        result = run_experiment("table1", scenario)
+        with pytest.deprecated_call():
+            data, text = result
         assert data.total_links == 1258
         assert isinstance(text, str)
 
@@ -77,7 +79,7 @@ class TestExperimentResult:
     if i not in ("fig11", "ext_protection", "ext_opacity")  # heavy: reduced below
 ])
 def test_experiment_runs_and_formats(experiment_id, scenario):
-    _, text = run_experiment(experiment_id, scenario)
+    text = run_experiment(experiment_id, scenario).text
     assert isinstance(text, str)
     assert len(text) > 40
 

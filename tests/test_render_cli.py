@@ -123,6 +123,14 @@ class TestCli:
             ["--traces", "100", "cut", "Miami, FL", "Seattle, WA"]
         ) == 2
 
+    def test_latency(self, capsys):
+        assert main(
+            ["--traces", "100", "latency", "Provo, UT",
+             "Salt Lake City, UT"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Provo, UT <-> Salt Lake City, UT" in out
+
 
 class TestCliExtensions:
     def test_pareto(self, capsys):
@@ -209,6 +217,26 @@ class TestCliJson:
         assert payload["event"]["conduits_severed"] >= 1
         assert payload["impact"]["isps_affected"] >= 1
         assert 0.0 <= payload["traffic_shift"]["affected_fraction"] <= 1.0
+
+    def test_latency_json_envelope(self, capsys):
+        assert main([
+            "--traces", "100", "--json", "latency",
+            "Provo, UT", "Salt Lake City, UT",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["v"] == 1
+        assert payload["kind"] == "latency.result"
+        assert payload["reachable"] is True
+        assert payload["path"][0] == "Provo, UT"
+
+    def test_exchange_json(self, capsys):
+        assert main(
+            ["--traces", "100", "--json", "exchange", "--conduits", "2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "exchange.result"
+        assert len(payload["conduits"]) == 2
+        assert payload["conduits"][0]["num_members"] >= 2
 
     def test_cache_info_json(self, capsys, tmp_path):
         assert main(

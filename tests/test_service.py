@@ -1,0 +1,434 @@
+"""Tests for the what-if service: schema, handlers, batching, server."""
+
+import json
+import threading
+
+import pytest
+
+from repro.scenario import Scenario
+from repro.service import (
+    AddConduitRequest,
+    AuditRequest,
+    CutRequest,
+    ExchangeRequest,
+    ExperimentRequest,
+    LatencyRequest,
+    QueryError,
+    RiskSliceRequest,
+    ScenarioRegistry,
+    ServiceApp,
+    encode_json,
+    handle_query,
+    parse_request,
+    solve_latency_batch,
+)
+from repro.service.handlers import LatencyBatcher
+from repro.service.registry import READY, WARMING
+from repro.service.render import render_response
+
+
+class TestSchemaRoundTrip:
+    @pytest.mark.parametrize("request_obj", [
+        CutRequest(city_a="Denver, CO", city_b="Chicago, IL"),
+        CutRequest(city_a="A", city_b="B", max_traces=50),
+        AddConduitRequest(city_a="A", city_b="B"),
+        AddConduitRequest(city_a="A", city_b="B", length_km=1200.5),
+        AuditRequest(isp="Sprint"),
+        LatencyRequest(city_a="A", city_b="B"),
+        RiskSliceRequest(),
+        RiskSliceRequest(isp="Sprint", top=3),
+        ExchangeRequest(num_conduits=2),
+        ExperimentRequest(experiment_id="table1"),
+    ])
+    def test_encode_parse_round_trips(self, request_obj):
+        payload = json.loads(json.dumps(request_obj.to_json()))
+        assert payload["v"] == 1
+        assert parse_request(payload) == request_obj
+
+    def test_scenario_key_is_reserved_not_a_field(self):
+        request = parse_request({
+            "v": 1, "kind": "audit", "isp": "Sprint", "scenario": "alt",
+        })
+        assert request == AuditRequest(isp="Sprint")
+
+    def test_defaults_fill_in(self):
+        request = parse_request({"kind": "cut", "city_a": "A", "city_b": "B"})
+        assert request.max_traces == 800
+
+
+class TestSchemaValidation:
+    def err(self, payload):
+        with pytest.raises(QueryError) as excinfo:
+            parse_request(payload)
+        return excinfo.value
+
+    def test_non_object(self):
+        error = self.err([1, 2])
+        assert error.code == "bad_request"
+        assert error.status == 400
+
+    def test_wrong_version(self):
+        error = self.err({"v": 2, "kind": "audit", "isp": "X"})
+        assert error.code == "unsupported_version"
+        assert error.field == "v"
+
+    def test_missing_kind(self):
+        assert self.err({"v": 1}).code == "bad_request"
+
+    def test_unknown_kind(self):
+        error = self.err({"v": 1, "kind": "teleport"})
+        assert error.code == "unknown_kind"
+        assert "teleport" in error.message
+
+    def test_missing_required_field(self):
+        error = self.err({"v": 1, "kind": "cut", "city_a": "A"})
+        assert error.code == "missing_field"
+        assert error.field == "city_b"
+
+    def test_unknown_field_rejected(self):
+        error = self.err({
+            "v": 1, "kind": "audit", "isp": "X", "ispp": "typo",
+        })
+        assert error.code == "invalid_field"
+        assert error.field == "ispp"
+
+    def test_wrong_type(self):
+        error = self.err({"v": 1, "kind": "audit", "isp": 7})
+        assert error.code == "invalid_field"
+        assert "str" in error.message
+
+    def test_bool_is_not_an_int(self):
+        error = self.err({
+            "v": 1, "kind": "risk", "top": True,
+        })
+        assert error.code == "invalid_field"
+        assert "bool" in error.message
+
+    def test_error_payload_golden(self):
+        error = self.err({"v": 1, "kind": "cut", "city_a": "A"})
+        assert error.to_json() == {
+            "v": 1,
+            "kind": "error",
+            "error": {
+                "code": "missing_field",
+                "message": "kind 'cut' requires field 'city_b'",
+                "field": "city_b",
+            },
+        }
+
+
+class TestHandlers:
+    def test_scenario_query_accepts_mapping_and_typed(self, scenario):
+        typed = scenario.query(AuditRequest(isp="Sprint"))
+        mapped = scenario.query({"v": 1, "kind": "audit", "isp": "Sprint"})
+        assert typed == mapped
+        assert typed.kind == "audit.result"
+        assert typed.isp == "Sprint"
+        assert 1 <= typed.rank <= typed.ranked_isps
+
+    def test_latency_answer_shape(self, scenario):
+        response = scenario.query(
+            LatencyRequest(city_a="Denver, CO", city_b="Chicago, IL")
+        )
+        assert response.reachable
+        assert response.path[0] == "Denver, CO"
+        assert response.path[-1] == "Chicago, IL"
+        assert len(response.conduit_ids) == response.hops
+        assert response.delay_ms > 0
+        text = render_response(response)
+        assert "Denver, CO <-> Chicago, IL" in text
+
+    def test_latency_unknown_city_is_structured(self, scenario):
+        with pytest.raises(QueryError) as excinfo:
+            scenario.query(
+                LatencyRequest(city_a="Denver, CO", city_b="Nowhere, XX")
+            )
+        assert excinfo.value.code == "unknown_city"
+        assert excinfo.value.status == 404
+        assert excinfo.value.field == "city_b"
+
+    def test_add_conduit_improves_or_not(self, scenario):
+        response = scenario.query(
+            AddConduitRequest(city_a="Denver, CO", city_b="Chicago, IL")
+        )
+        assert response.length_km > 0
+        assert response.baseline_delay_ms is not None
+        # A direct Denver-Chicago conduit beats the multi-hop baseline.
+        assert response.improves_map
+        assert response.cities_improved >= 1
+        assert response.delay_ms < response.baseline_delay_ms
+
+    def test_risk_slice_whole_matrix(self, scenario):
+        response = scenario.query(RiskSliceRequest(top=4))
+        assert response.isp is None
+        assert len(response.top_conduits) == 4
+        tenants = [row.tenants for row in response.top_conduits]
+        assert tenants == sorted(tenants, reverse=True)
+        assert dict(response.sharing_fractions)[2] > 0.75
+
+    def test_experiment_query(self, scenario):
+        response = scenario.query(
+            ExperimentRequest(experiment_id="table1")
+        )
+        assert response.experiment_id == "table1"
+        assert response.data.total_links == 1258
+        assert render_response(response) == response.text
+
+    def test_unknown_experiment(self, scenario):
+        with pytest.raises(QueryError) as excinfo:
+            scenario.query(ExperimentRequest(experiment_id="fig99"))
+        assert excinfo.value.status == 404
+
+
+class TestMicroBatching:
+    PAIRS = [
+        ("Denver, CO", "Chicago, IL"),
+        ("Miami, FL", "Seattle, WA"),
+        ("Boston, MA", "Los Angeles, CA"),
+        ("Chicago, IL", "Denver, CO"),
+        ("Houston, TX", "Atlanta, GA"),
+        ("Denver, CO", "Nowhere, XX"),  # per-slot failure
+    ]
+
+    def test_batch_equals_serial(self, scenario):
+        requests = [
+            LatencyRequest(city_a=a, city_b=b) for a, b in self.PAIRS
+        ]
+        batched = solve_latency_batch(scenario, requests)
+        serial = [solve_latency_batch(scenario, [r])[0] for r in requests]
+        for one, many in zip(serial, batched):
+            if isinstance(one, QueryError):
+                assert isinstance(many, QueryError)
+                assert many.code == one.code
+            else:
+                assert many == one
+
+    def test_concurrent_submits_coalesce(self, scenario):
+        requests = [
+            LatencyRequest(city_a=a, city_b=b)
+            for a, b in self.PAIRS if "XX" not in b
+        ]
+        serial = {
+            r: handle_query(scenario, r) for r in requests
+        }
+        batcher = LatencyBatcher(scenario, window_s=0.05)
+        results = {}
+        errors = []
+        barrier = threading.Barrier(len(requests))
+
+        def worker(request):
+            barrier.wait()
+            try:
+                results[request] = batcher.submit(request)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,)) for r in requests
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # Fewer solves than requests: concurrency actually coalesced.
+        assert batcher.batches < len(requests)
+        assert batcher.requests == len(requests)
+        # And batching never changes an answer.
+        assert results == serial
+
+    def test_batched_error_slot_raises_only_for_its_owner(self, scenario):
+        batcher = LatencyBatcher(scenario, window_s=0.0)
+        good = batcher.submit(
+            LatencyRequest(city_a="Denver, CO", city_b="Chicago, IL")
+        )
+        assert good.reachable
+        with pytest.raises(QueryError):
+            batcher.submit(
+                LatencyRequest(city_a="Denver, CO", city_b="Nowhere, XX")
+            )
+
+
+class TestRegistryAndApp:
+    def test_two_named_scenarios_side_by_side(self, scenario):
+        registry = ScenarioRegistry()
+        registry.add("default", scenario=scenario)
+        registry.add(
+            "alt", scenario=Scenario(seed=7, campaign_traces=50)
+        )
+        app = ServiceApp(registry)
+        status, default_answer = app.handle(
+            "POST", "/v1/query", json.dumps({
+                "v": 1, "kind": "latency",
+                "city_a": "Denver, CO", "city_b": "Chicago, IL",
+            }).encode(),
+        )
+        assert status == 200
+        status, alt_answer = app.handle(
+            "POST", "/v1/query", json.dumps({
+                "v": 1, "kind": "risk", "scenario": "alt",
+            }).encode(),
+        )
+        assert status == 200
+        assert alt_answer["kind"] == "risk.result"
+        # The alt world is a different synthesis: different conduits.
+        default_risk = app.handle(
+            "POST", "/v1/query",
+            json.dumps({"v": 1, "kind": "risk"}).encode(),
+        )[1]
+        assert alt_answer["num_conduits"] != default_risk["num_conduits"]
+        assert registry.get("default").queries == 2
+        assert registry.get("alt").queries == 1
+
+    def test_unknown_scenario_404(self, scenario):
+        registry = ScenarioRegistry()
+        registry.add("default", scenario=scenario)
+        app = ServiceApp(registry)
+        status, payload = app.handle(
+            "POST", "/v1/query", json.dumps({
+                "v": 1, "kind": "risk", "scenario": "mars",
+            }).encode(),
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_scenario"
+
+    def test_healthz_during_warm_up(self, monkeypatch):
+        tiny = Scenario(seed=11, campaign_traces=50)
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_materialize(stages, **kwargs):
+            started.set()
+            assert release.wait(timeout=60)
+
+        monkeypatch.setattr(
+            tiny.graph, "materialize_many", blocking_materialize
+        )
+        registry = ScenarioRegistry()
+        registry.add("default", scenario=tiny)
+        app = ServiceApp(registry)
+        status, payload = app.handle("GET", "/healthz", None)
+        assert status == 503 and payload["status"] == "warming"
+        threads = registry.warm_all_async()
+        assert started.wait(timeout=60)
+        status, payload = app.handle("GET", "/healthz", None)
+        assert status == 503
+        assert payload["scenarios"]["default"] == WARMING
+        release.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        status, payload = app.handle("GET", "/healthz", None)
+        assert status == 200 and payload["status"] == "ok"
+        assert registry.get("default").state == READY
+
+    def test_warm_failure_reported(self, monkeypatch):
+        tiny = Scenario(seed=12, campaign_traces=50)
+
+        def broken_materialize(stages, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(
+            tiny.graph, "materialize_many", broken_materialize
+        )
+        registry = ScenarioRegistry()
+        entry = registry.add("default", scenario=tiny)
+        entry.warm()
+        assert entry.state == "failed"
+        assert "disk on fire" in entry.error
+        app = ServiceApp(registry)
+        status, payload = app.handle("GET", "/v1/manifest", None)
+        assert status == 200
+        assert "disk on fire" in payload["scenarios"]["default"]["error"]
+
+    def test_batch_endpoint_mixes_kinds_and_errors(self, scenario):
+        registry = ScenarioRegistry()
+        registry.add("default", scenario=scenario)
+        app = ServiceApp(registry)
+        status, payload = app.handle("POST", "/v1/batch", json.dumps({
+            "requests": [
+                {"v": 1, "kind": "latency",
+                 "city_a": "Denver, CO", "city_b": "Chicago, IL"},
+                {"v": 1, "kind": "latency",
+                 "city_a": "Miami, FL", "city_b": "Seattle, WA"},
+                {"v": 1, "kind": "audit", "isp": "Sprint"},
+                {"v": 1, "kind": "warp"},
+            ],
+        }).encode())
+        assert status == 200
+        kinds = [r["kind"] for r in payload["results"]]
+        assert kinds == [
+            "latency.result", "latency.result", "audit.result", "error",
+        ]
+        # The two latency slots rode one explicit batch.
+        assert registry.get("default").batcher.batches == 1
+        assert registry.get("default").batcher.requests == 2
+
+    def test_http_errors_are_structured(self, scenario):
+        registry = ScenarioRegistry()
+        registry.add("default", scenario=scenario)
+        app = ServiceApp(registry)
+        status, payload = app.handle("GET", "/nope", None)
+        assert status == 404 and payload["error"]["code"] == "not_found"
+        status, payload = app.handle("PUT", "/v1/query", b"{}")
+        assert status == 405
+        status, payload = app.handle("POST", "/v1/query", b"not json")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert app.errors == 3
+
+
+@pytest.mark.parametrize("argv,request_payload", [
+    (
+        ["--json", "audit", "Sprint"],
+        {"v": 1, "kind": "audit", "isp": "Sprint"},
+    ),
+    (
+        ["--json", "latency", "Denver, CO", "Chicago, IL"],
+        {"v": 1, "kind": "latency",
+         "city_a": "Denver, CO", "city_b": "Chicago, IL"},
+    ),
+    (
+        ["--json", "cut", "Provo, UT", "Salt Lake City, UT"],
+        {"v": 1, "kind": "cut",
+         "city_a": "Provo, UT", "city_b": "Salt Lake City, UT"},
+    ),
+])
+def test_http_body_matches_cli_json_bytes(capsys, argv, request_payload):
+    """The tentpole contract: one query layer, byte-identical frontends."""
+    from repro.cli import main
+    from repro.scenario import ScenarioConfig, us2015
+
+    assert main(["--traces", "100", *argv]) == 0
+    cli_stdout = capsys.readouterr().out
+    # The CLI's us2015 is memoized per config, so the service sees the
+    # very same scenario instance the CLI just answered from.
+    shared = us2015(config=ScenarioConfig(seed=2015, campaign_traces=100))
+    registry = ScenarioRegistry()
+    registry.add("default", scenario=shared)
+    app = ServiceApp(registry)
+    status, payload = app.handle(
+        "POST", "/v1/query", json.dumps(request_payload).encode()
+    )
+    assert status == 200
+    http_body = encode_json(payload) + "\n"
+    assert http_body == cli_stdout
+
+
+def test_cli_latency_text(capsys):
+    from repro.cli import main
+
+    assert main(
+        ["--traces", "100", "latency", "Denver, CO", "Chicago, IL"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Denver, CO <-> Chicago, IL" in out
+    assert "via:" in out
+
+
+def test_cli_latency_unknown_city(capsys):
+    from repro.cli import main
+
+    assert main(
+        ["--traces", "100", "latency", "Denver, CO", "Nowhere, XX"]
+    ) == 2
+    assert "unknown city" in capsys.readouterr().err
