@@ -1,0 +1,69 @@
+"""Benchmark: the sweep orchestrator over a small seeds × drivers grid.
+
+Runs a 2-seed × 2-driver grid twice against one shared cache root —
+cold (every cell builds or coalesces) and warm (every stage artifact
+served from cache) — over a 2-process pool, asserts determinism of the
+per-cell metrics between the two passes, and reports cell throughput
+plus the dedup accounting in ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.sweep import expand_grid, parse_grid, run_sweep
+
+
+def _metric_rows(result):
+    return [
+        (
+            cell["cell"]["seed"],
+            cell["cell"]["driver"],
+            cell["metrics"]["gains"],
+            cell["metrics"]["srr_avg"],
+        )
+        for cell in result.cells
+    ]
+
+
+def test_sweep(report_output):
+    cells = expand_grid(
+        parse_grid(["seed=2015..2016", "driver=greedy,random", "max_k=2"])
+    )
+    isps = ["Telia", "Tata", "Sprint"]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as root:
+        started = time.perf_counter()
+        cold = run_sweep(cells, isps=isps, cache=root, workers=2)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_sweep(cells, isps=isps, cache=root, workers=2)
+        warm_s = time.perf_counter() - started
+    assert cold.ok and warm.ok
+    # Deterministic cells: metrics must not depend on cache state,
+    # pool scheduling, or which process built an artifact.
+    assert _metric_rows(cold) == _metric_rows(warm)
+    cold_dedup = cold.cache_dedup()
+    warm_dedup = warm.cache_dedup()
+    assert cold_dedup["cross_cell_hits"] >= 1, cold_dedup
+    # A warm sweep rebuilds nothing: every fetch hits.
+    assert warm_dedup["misses"] == 0, warm_dedup
+    text = (
+        f"sweep {len(cells)} cells (2 seeds x 2 drivers, workers=2)\n"
+        f"  cold {cold_s:6.2f}s  "
+        f"dedup {cold_dedup['cross_cell_hits']}h/"
+        f"{cold_dedup['coalesced']}c/{cold_dedup['misses']}m\n"
+        f"  warm {warm_s:6.2f}s  "
+        f"dedup {warm_dedup['cross_cell_hits']}h/"
+        f"{warm_dedup['coalesced']}c/{warm_dedup['misses']}m"
+    )
+    report_output(
+        "sweep",
+        text,
+        cells=len(cells),
+        cold_s=cold_s,
+        warm_s=warm_s,
+        cold_dedup=cold_dedup,
+        warm_dedup=warm_dedup,
+        aggregates=cold.aggregates,
+    )

@@ -145,6 +145,41 @@ def _build_parser() -> argparse.ArgumentParser:
              "stages on first touch)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario × optimizer-driver sweep grid",
+    )
+    sweep.add_argument(
+        "--grid", action="append", metavar="KEY=SPEC", default=None,
+        help="sweep axis (repeatable): seed=2015..2024, seed=1,5,9, "
+             "driver=greedy,anneal, traces=2000, max_k=4, "
+             "driver_seed=0..2; the seed axis defaults to --seed",
+    )
+    sweep.add_argument(
+        "--driver", default=None, metavar="NAMES",
+        help="comma list of augmentation drivers (greedy, anneal, "
+             "evolutionary, random) — sugar for --grid driver=...",
+    )
+    sweep.add_argument(
+        "--max-k", type=int, default=4, metavar="K",
+        help="conduits added per augmentation search when no max_k "
+             "axis is given (default 4)",
+    )
+    sweep.add_argument(
+        "--isps", default=None, metavar="NAMES",
+        help="comma list of providers to score (default: all)",
+    )
+    sweep.add_argument(
+        "--sweep-workers", type=int, default=1, metavar="N",
+        help="cell worker processes (1 = serial, 0 = one per core); "
+             "share --cache-dir across workers for cross-cell dedup",
+    )
+    sweep.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the per-sweep RunManifest (cell spans, embedded "
+             "cell manifests, cache-dedup accounting) to PATH",
+    )
+
     annotate = sub.add_parser(
         "annotate", help="export the traffic/delay-annotated map"
     )
@@ -526,6 +561,108 @@ def _cmd_serve(scenario: Scenario, args: argparse.Namespace, tracer) -> int:
     return 0
 
 
+def _cmd_sweep(
+    args: argparse.Namespace, cache: Any, as_json: bool
+) -> int:
+    from repro.sweep import expand_grid, parse_grid, run_sweep
+
+    try:
+        axes = parse_grid(args.grid or [])
+        if args.driver is not None:
+            axes.setdefault("driver", parse_grid([f"driver={args.driver}"])["driver"])
+        axes.setdefault("seed", [args.seed])
+        axes.setdefault("max_k", [args.max_k])
+        if "traces" not in axes:
+            from repro.sweep.grid import DEFAULT_CELL_TRACES
+
+            explicit = args.traces != DEFAULT_CAMPAIGN_TRACES
+            axes["traces"] = [args.traces if explicit else DEFAULT_CELL_TRACES]
+        cells = expand_grid(axes)
+    except ValueError as error:
+        print(f"bad sweep grid: {error}", file=sys.stderr)
+        return 2
+    isps = (
+        [name.strip() for name in args.isps.split(",") if name.strip()]
+        if args.isps
+        else None
+    )
+    if cache is False or (cache is None and not os.environ.get("REPRO_CACHE_DIR")
+                          and not os.environ.get("REPRO_CACHE")):
+        print(
+            "note: no shared cache root (--cache-dir) — cells cannot "
+            "deduplicate stage builds",
+            file=sys.stderr,
+        )
+
+    def progress(cell: Dict[str, Any]) -> None:
+        spec = cell["cell"]
+        status = "ok" if cell["ok"] else "FAILED"
+        print(
+            f"  cell seed={spec['seed']} driver={spec['driver']}"
+            f"/{spec['driver_seed']} k={spec['max_k']}: {status} "
+            f"({cell['duration_s']:.2f}s, cache {cell['cache']['hits']}h/"
+            f"{cell['cache']['misses']}m)",
+            file=sys.stderr,
+        )
+
+    result = run_sweep(
+        cells,
+        isps=isps,
+        cache=cache,
+        workers=args.sweep_workers,
+        stream=None if as_json else progress,
+    )
+    if args.out:
+        path = result.write_manifest(args.out)
+        print(f"sweep manifest written to {path}", file=sys.stderr)
+    if as_json:
+        _emit_json(result.to_jsonable())
+        return 0 if result.ok else 1
+    from repro.analysis.report import format_table
+
+    rows = []
+    for cell in result.cells:
+        spec = cell["cell"]
+        metrics = cell.get("metrics") or {}
+        rows.append([
+            str(spec["seed"]),
+            spec["driver"],
+            str(spec["driver_seed"]),
+            str(spec["max_k"]),
+            "ok" if cell["ok"] else "FAILED",
+            f"{metrics.get('mean_gain', 0.0) or 0.0:.4f}",
+            f"{metrics.get('srr_avg', 0.0) or 0.0:.3f}",
+            f"{cell['cache']['hits']}/{cell['cache']['misses']}",
+            f"{cell['duration_s']:.2f}",
+        ])
+    print(format_table(
+        ["seed", "driver", "dseed", "k", "status", "mean gain",
+         "avg SRR", "cache h/m", "secs"],
+        rows,
+        title=f"Sweep: {len(result.cells)} cells, "
+              f"workers={result.workers}",
+    ))
+    dedup = result.cache_dedup()
+    print(
+        f"cache dedup: {dedup['cross_cell_hits']} cross-cell hit(s), "
+        f"{dedup['coalesced']} coalesced build(s), "
+        f"{dedup['misses']} miss(es)"
+    )
+    aggregates = result.aggregates
+    for driver, dist in (aggregates.get("gain_per_driver") or {}).items():
+        if dist:
+            print(
+                f"gain[{driver}]: mean {dist['mean']:.4f}  "
+                f"median {dist['median']:.4f}  max {dist['max']:.4f}  "
+                f"(n={dist['n']})"
+            )
+    if not result.ok:
+        failed = len(result.cells) - sum(1 for c in result.cells if c["ok"])
+        print(f"{failed} cell(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(
     action: str,
     cache_dir: Optional[str],
@@ -764,6 +901,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             )
         if args.command == "serve":
             return _cmd_serve(scenario, args, tracer)
+        if args.command == "sweep":
+            return _cmd_sweep(args, cache, args.json)
         if args.command == "annotate":
             return _cmd_annotate(scenario, args.geojson)
         if args.command == "pareto":

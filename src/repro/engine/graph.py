@@ -229,18 +229,40 @@ class StageGraph:
             if hit:
                 tracer.annotate(cache="hit")
                 return value
-            value = build()
-            try:
-                self.cache.store(stage.name, key, value)
-            except OSError as error:
-                tracer.event(
-                    "cache.degraded", stage=stage.name,
-                    error=type(error).__name__,
-                )
-                tracer.annotate(cache="miss", store="failed")
-            else:
-                tracer.annotate(cache="miss")
-            return value
+            single_flight = getattr(self.cache, "single_flight", None)
+            if single_flight is None:
+                return self._build_and_store(stage, key, build, tracer)
+            # Single-flight on the stage key: concurrent processes
+            # sharing this cache root (sweep cells, parallel CLI runs)
+            # build identical artifacts once — the first holder builds
+            # and stores, waiters re-fetch the stored entry.
+            with single_flight(stage.name, key) as contended:
+                if contended:
+                    hit, value = self.cache.fetch(stage.name, key)
+                    if hit:
+                        tracer.annotate(cache="hit", coalesced=True)
+                        return value
+                return self._build_and_store(stage, key, build, tracer)
+
+    def _build_and_store(
+        self,
+        stage: StageDef,
+        key: Optional[Dict[str, Any]],
+        build: Callable[[], Any],
+        tracer: Any,
+    ) -> Any:
+        value = build()
+        try:
+            self.cache.store(stage.name, key, value)
+        except OSError as error:
+            tracer.event(
+                "cache.degraded", stage=stage.name,
+                error=type(error).__name__,
+            )
+            tracer.annotate(cache="miss", store="failed")
+        else:
+            tracer.annotate(cache="miss")
+        return value
 
     # -- cache management ----------------------------------------------
     def invalidate(self, name: str, dependents: bool = True) -> int:

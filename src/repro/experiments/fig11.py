@@ -35,6 +35,8 @@ def run(
     scenario: Scenario,
     max_k: int = 10,
     isps: Optional[Sequence[str]] = None,
+    driver: str = "greedy",
+    driver_seed: int = 0,
 ) -> Fig11Result:
     fiber_map = scenario.constructed_map
     network = scenario.network
@@ -48,6 +50,8 @@ def run(
         candidates=candidates,
         substrate=scenario.substrate,
         workers=scenario.workers,
+        driver=driver,
+        driver_seed=driver_seed,
     )
     return Fig11Result(
         results=results, max_k=max_k, num_candidates=len(candidates)

@@ -9,12 +9,23 @@
   along unused rights-of-way to maximize global risk reduction.
 * :mod:`repro.mitigation.latency` — §5.3: propagation-delay analysis
   (existing paths vs best ROW path vs line of sight).
+* :mod:`repro.mitigation.drivers` — pluggable optimizer drivers
+  (greedy / anneal / evolutionary / random) over the §5.2 environment.
 """
 
 from repro.mitigation.augmentation import (
     AugmentationResult,
     candidate_new_edges,
     improvement_curve,
+    improvement_curves,
+)
+from repro.mitigation.drivers import (
+    DRIVERS,
+    AugmentationEnv,
+    Driver,
+    canonical_driver,
+    make_driver,
+    run_driver,
 )
 from repro.mitigation.latency import LatencyStudy, PairDelays, latency_study
 from repro.mitigation.peering import peering_suggestions
@@ -31,7 +42,14 @@ __all__ = [
     "peering_suggestions",
     "candidate_new_edges",
     "improvement_curve",
+    "improvement_curves",
     "AugmentationResult",
+    "AugmentationEnv",
+    "Driver",
+    "DRIVERS",
+    "canonical_driver",
+    "make_driver",
+    "run_driver",
     "latency_study",
     "LatencyStudy",
     "PairDelays",

@@ -57,6 +57,12 @@ class AugmentationResult:
     risk_after: Tuple[float, ...]
     #: Edges added, in greedy order.
     added_edges: Tuple[EdgeKey, ...]
+    #: Candidates actually scored (after footprint filter + cap).
+    pool_size: int = 0
+    #: Eligible candidates dropped by the ``MAX_CANDIDATES`` cap.
+    pool_truncated: int = 0
+    #: Optimizer driver that produced this plan.
+    driver: str = "greedy"
 
     def improvement_ratio(self, k: int) -> float:
         """Relative exposure reduction after *k* added conduits."""
@@ -140,83 +146,39 @@ class _FootprintRouter:
         )
 
 
-def _improvement_curve_reference(
-    fiber_map: FiberMap,
-    network: TransportationNetwork,
-    isp: str,
-    max_k: int = 10,
-    candidates: Optional[List[Tuple[EdgeKey, float]]] = None,
-) -> AugmentationResult:
-    """NetworkX reference for :func:`improvement_curve` (two dict
-    Dijkstras per candidate per greedy step)."""
-    router = _FootprintRouter(fiber_map, isp)
-    demands = sorted(
-        {link.endpoints for link in fiber_map.links_of(isp)}
-    )
-    footprint_cities = set(router.graph.nodes)
-    if candidates is None:
-        candidates = candidate_new_edges(fiber_map, network)
-    pool = [
-        (edge, length)
-        for edge, length in candidates
-        if edge[0] in footprint_cities and edge[1] in footprint_cities
-    ][:MAX_CANDIDATES]
-    baseline = router.route_exposure(demands)
-    risks_after: List[float] = []
-    added: List[EdgeKey] = []
-    current = baseline
-    for _ in range(max_k):
-        # Current demand costs, computed once per step: one Dijkstra per
-        # distinct demand source.
-        sources = sorted({a for a, _ in demands} | {b for _, b in demands})
-        dist_from: Dict[str, Dict[str, float]] = {
-            s: router.dijkstra_risk(s) for s in sources
-        }
-        current_cost: Dict[EdgeKey, float] = {}
-        for a, b in demands:
-            cost = dist_from.get(a, {}).get(b)
-            if cost is not None:
-                current_cost[(a, b)] = cost
-        best_edge: Optional[Tuple[EdgeKey, float]] = None
-        best_score = 0.0
-        for edge, length in pool:
-            if edge in added:
-                continue
-            # Estimated gain: links that would reroute through the new
-            # conduit save (old path cost) - (cost via new conduit).
-            from_u = dist_from.get(edge[0], router.dijkstra_risk(edge[0]))
-            from_v = dist_from.get(edge[1], router.dijkstra_risk(edge[1]))
-            new_weight = 1.0 + LENGTH_EPSILON * length
-            gain = 0.0
-            for (a, b), cost in current_cost.items():
-                if a not in from_u or b not in from_v:
-                    continue
-                via_new = min(
-                    from_u[a] + new_weight + from_v[b],
-                    from_v.get(a, float("inf"))
-                    + new_weight
-                    + from_u.get(b, float("inf")),
-                )
-                if via_new < cost:
-                    gain += cost - via_new
-            score = gain - COST_PENALTY_PER_KM * length
-            if score > best_score:
-                best_score = score
-                best_edge = (edge, length)
-        if best_edge is None:
-            # No candidate helps; the curve flattens (Suddenlink's case).
-            risks_after.append(current)
-            continue
-        router.add_private_conduit(*best_edge)
-        added.append(best_edge[0])
-        current = router.route_exposure(demands)
-        risks_after.append(current)
-    return AugmentationResult(
-        isp=isp,
-        baseline_risk=baseline,
-        risk_after=tuple(risks_after),
-        added_edges=tuple(added),
-    )
+def candidate_gain(
+    du,
+    dv,
+    ai,
+    bi,
+    costs,
+    new_weight: float,
+) -> float:
+    """Vectorized §5.2 gain estimate for one candidate conduit ``(u, v)``.
+
+    *du*/*dv* are dense distance rows from the candidate's endpoints,
+    *ai*/*bi* index the demand endpoints into those rows, *costs* holds
+    each demand's current path cost.  A demand saves ``cost - via`` when
+    the cheaper of the two orientations through the new conduit beats its
+    current path.
+
+    The finiteness mask is on ``via`` — the orientation minimum — not on
+    ``via_uv`` alone: a demand reachable only as ``v → a`` and ``u → b``
+    still reroutes through the conduit.  (Masking ``via_uv`` silently
+    scored such candidates as useless.  On undirected footprints the two
+    masks coincide — any finite ``via_vu`` implies every endpoint shares
+    ``u``'s component, making ``via_uv`` finite too — but only this form
+    survives asymmetric reachability; see tests/test_drivers.py.)
+    """
+    via_uv = du[ai] + new_weight + dv[bi]
+    via_vu = dv[ai] + new_weight + du[bi]
+    via = np.minimum(via_uv, via_vu)
+    better = np.isfinite(via) & (via < costs)
+    if better.any():
+        # Sequential (left-associated) accumulation so the gain is
+        # bit-identical to the reference ``+=`` loop.
+        return float((costs[better] - via[better]).cumsum()[-1])
+    return 0.0
 
 
 def _footprint_view(conduits: ConduitSubstrate, isp: str) -> GraphView:
@@ -254,103 +216,6 @@ def _route_exposure(view: GraphView, demands: Sequence[EdgeKey]) -> float:
     return total_risk / total_hops
 
 
-def _improvement_curve_substrate(
-    fiber_map: FiberMap,
-    network: TransportationNetwork,
-    isp: str,
-    max_k: int,
-    candidates: Optional[List[Tuple[EdgeKey, float]]],
-    substrate,
-) -> AugmentationResult:
-    """Substrate fast path: each greedy step is one batched multi-source
-    Dijkstra plus vectorized gain scoring over the candidate pool, and
-    applying a candidate is an O(1) array upsert."""
-    conduits = substrate.conduits
-    view = _footprint_view(conduits, isp).clone()
-    demands = sorted(
-        {link.endpoints for link in fiber_map.links_of(isp)}
-    )
-    footprint_cities = conduits.footprint_cities(isp)
-    if candidates is None:
-        candidates = candidate_new_edges(fiber_map, network)
-    pool = [
-        (edge, length)
-        for edge, length in candidates
-        if edge[0] in footprint_cities and edge[1] in footprint_cities
-    ][:MAX_CANDIDATES]
-    baseline = _route_exposure(view, demands)
-    risks_after: List[float] = []
-    added: List[EdgeKey] = []
-    current = baseline
-    index = view.index
-    for _ in range(max_k):
-        # One scipy call answers every source this step needs: all
-        # demand endpoints plus both endpoints of every candidate.
-        all_sources = sorted(
-            {a for a, _ in demands}
-            | {b for _, b in demands}
-            | {e for edge, _ in pool for e in edge}
-        )
-        dist, _pred, row_of = view.dijkstra(all_sources, "w")
-        cost_a: List[int] = []
-        cost_b: List[int] = []
-        cost_v: List[float] = []
-        for a, b in demands:
-            if not view.present(a):
-                continue
-            cost = dist[row_of[a], index[b]]
-            if not np.isfinite(cost):
-                continue
-            cost_a.append(index[a])
-            cost_b.append(index[b])
-            cost_v.append(float(cost))
-        ai = np.asarray(cost_a, dtype=np.int64)
-        bi = np.asarray(cost_b, dtype=np.int64)
-        costs = np.asarray(cost_v, dtype=float)
-        best_edge: Optional[Tuple[EdgeKey, float]] = None
-        best_score = 0.0
-        for edge, length in pool:
-            if edge in added:
-                continue
-            du = dist[row_of[edge[0]]]
-            dv = dist[row_of[edge[1]]]
-            new_weight = 1.0 + LENGTH_EPSILON * length
-            via_uv = du[ai] + new_weight + dv[bi]
-            via_vu = dv[ai] + new_weight + du[bi]
-            via = np.minimum(via_uv, via_vu)
-            better = np.isfinite(via_uv) & (via < costs)
-            if better.any():
-                # Sequential (left-associated) accumulation so the gain
-                # is bit-identical to the reference ``+=`` loop.
-                gain = float((costs[better] - via[better]).cumsum()[-1])
-            else:
-                gain = 0.0
-            score = gain - COST_PENALTY_PER_KM * length
-            if score > best_score:
-                best_score = score
-                best_edge = (edge, length)
-        if best_edge is None:
-            risks_after.append(current)
-            continue
-        (a, b), length = best_edge
-        view.upsert_edge(
-            a,
-            b,
-            "w",
-            {"w": 1.0 + LENGTH_EPSILON * length, "risk": 1.0},
-            payload={"conduit": -1},
-        )
-        added.append(best_edge[0])
-        current = _route_exposure(view, demands)
-        risks_after.append(current)
-    return AugmentationResult(
-        isp=isp,
-        baseline_risk=baseline,
-        risk_after=tuple(risks_after),
-        added_edges=tuple(added),
-    )
-
-
 def improvement_curve(
     fiber_map: FiberMap,
     network: TransportationNetwork,
@@ -358,23 +223,41 @@ def improvement_curve(
     max_k: int = 10,
     candidates: Optional[List[Tuple[EdgeKey, float]]] = None,
     substrate=None,
+    driver="greedy",
+    driver_seed: int = 0,
+    **driver_params,
 ) -> AugmentationResult:
-    """Greedy §5.2 augmentation for one provider.
+    """§5.2 augmentation for one provider under a pluggable optimizer.
 
-    Each greedy step scores candidates by the exposure drop of rerouting
-    the provider's links with the candidate added, applies the best, and
-    measures exactly.  On the routing substrate the step is one batched
-    Dijkstra plus vectorized scoring; without scipy the NetworkX
-    reference answers instead.
+    The default *driver* is the paper's greedy search: each step scores
+    candidates by the exposure drop of rerouting the provider's links
+    with the candidate added, applies the best, and measures exactly.
+    On the routing substrate the step is one batched Dijkstra plus
+    vectorized scoring; without scipy (or with ``substrate=False``) the
+    NetworkX reference answers instead.
+
+    *driver* may be any name registered in
+    :data:`repro.mitigation.drivers.DRIVERS` (``greedy``, ``anneal``,
+    ``evolutionary``, ``random``) or a :class:`~repro.mitigation.drivers.
+    Driver` instance; *driver_seed* and extra keyword parameters are
+    forwarded to the driver constructor.  Every driver is deterministic
+    for a fixed seed.
     """
-    resolved = resolve_substrate(fiber_map, substrate)
-    if resolved is None:
-        return _improvement_curve_reference(
-            fiber_map, network, isp, max_k=max_k, candidates=candidates
-        )
-    return _improvement_curve_substrate(
-        fiber_map, network, isp, max_k, candidates, resolved
+    from repro.mitigation.drivers import (
+        AugmentationEnv,
+        make_driver,
+        run_driver,
     )
+
+    env = AugmentationEnv(
+        fiber_map,
+        network,
+        isp,
+        max_k=max_k,
+        candidates=candidates,
+        substrate=substrate,
+    )
+    return run_driver(env, make_driver(driver, seed=driver_seed, **driver_params))
 
 
 def improvement_curves(
@@ -385,15 +268,28 @@ def improvement_curves(
     candidates: Optional[List[Tuple[EdgeKey, float]]] = None,
     substrate=None,
     workers: Optional[int] = None,
+    driver="greedy",
+    driver_seed: int = 0,
+    **driver_params,
 ) -> Dict[str, AugmentationResult]:
     """Figure 11 fan-out: the improvement curve for every provider.
 
     The candidate set is computed once and shared; *workers* > 1 runs
-    the per-provider greedy loops on a thread pool (the batched CSR
-    Dijkstras release the GIL).  Results keep *isps* order.
+    the per-provider searches on a thread pool (the batched CSR
+    Dijkstras release the GIL).  Results keep first-seen *isps* order;
+    duplicate provider names collapse to one entry instead of silently
+    dropping the extra work.
     """
+    if not isinstance(driver, str):
+        # A driver instance carries search state; sharing one across
+        # providers would leak plans between searches.
+        raise TypeError(
+            "improvement_curves takes a driver *name* so each provider "
+            f"gets a fresh search, got {driver!r}"
+        )
     if candidates is None:
         candidates = candidate_new_edges(fiber_map, network)
+    unique_isps = list(dict.fromkeys(isps))
 
     def one(isp: str) -> AugmentationResult:
         return improvement_curve(
@@ -403,10 +299,13 @@ def improvement_curves(
             max_k=max_k,
             candidates=candidates,
             substrate=substrate,
+            driver=driver,
+            driver_seed=driver_seed,
+            **driver_params,
         )
 
-    if workers and workers > 1 and len(isps) > 1:
+    if workers and workers > 1 and len(unique_isps) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(one, isps))
-        return dict(zip(isps, results))
-    return {isp: one(isp) for isp in isps}
+            results = list(pool.map(one, unique_isps))
+        return dict(zip(unique_isps, results))
+    return {isp: one(isp) for isp in unique_isps}

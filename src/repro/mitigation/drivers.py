@@ -1,0 +1,674 @@
+"""Pluggable optimizer drivers for the §5.2 augmentation study.
+
+The paper answers "which new conduits cut risk the most" with one fixed
+greedy search.  This module generalizes that search into an
+ArchGym-style driver interface: an :class:`AugmentationEnv` wraps one
+provider's routing state (the substrate's batched-Dijkstra scoring, or
+the NetworkX reference without scipy) and exposes evaluate/estimate
+primitives, and a :class:`Driver` proposes candidate *plans* — ordered
+tuples of pool indices — observes their measured exposures, and reports
+the best plan it found.
+
+Four drivers ship:
+
+* ``greedy`` — the paper's search, byte-identical to the pre-driver
+  ``improvement_curve`` (and therefore to the pinned fig11 goldens).
+* ``anneal`` — simulated annealing over plan mutations.
+* ``evolutionary`` — a small generational GA with tournament selection.
+* ``random`` — uniform random plans; the baseline the smarter drivers
+  must beat.
+
+Every driver is deterministic for a fixed seed: all randomness flows
+from one ``random.Random(seed)`` and no code path iterates a set, so
+results are stable across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
+
+from repro.fibermap.elements import FiberMap
+from repro.mitigation import augmentation as _aug
+from repro.mitigation.augmentation import (
+    COST_PENALTY_PER_KM,
+    LENGTH_EPSILON,
+    AugmentationResult,
+    _FootprintRouter,
+    _footprint_view,
+    _route_exposure,
+    candidate_gain,
+    candidate_new_edges,
+)
+from repro.obs.tracer import get_tracer
+from repro.perf.substrate import HAVE_SCIPY, resolve_substrate
+from repro.transport.network import EdgeKey, TransportationNetwork
+
+if HAVE_SCIPY:
+    import numpy as np
+
+Plan = Tuple[int, ...]
+
+
+class _SubstrateEngine:
+    """Array-backed routing state: one batched multi-source Dijkstra per
+    estimate, O(1) upserts per applied candidate (DESIGN §10)."""
+
+    def __init__(
+        self,
+        fiber_map: FiberMap,
+        isp: str,
+        candidates: List[Tuple[EdgeKey, float]],
+        substrate,
+    ):
+        conduits = substrate.conduits
+        self._base = _footprint_view(conduits, isp)
+        self.demands = sorted(
+            {link.endpoints for link in fiber_map.links_of(isp)}
+        )
+        footprint_cities = conduits.footprint_cities(isp)
+        eligible = [
+            (edge, length)
+            for edge, length in candidates
+            if edge[0] in footprint_cities and edge[1] in footprint_cities
+        ]
+        self.pool = eligible[: _aug.MAX_CANDIDATES]
+        self.pool_truncated = len(eligible) - len(self.pool)
+        self.view = self._base.clone()
+        self.baseline = _route_exposure(self.view, self.demands)
+
+    def reset(self) -> None:
+        self.view = self._base.clone()
+
+    def estimate_scores(self, applied: Set[int]) -> List[Optional[float]]:
+        view = self.view
+        demands = self.demands
+        pool = self.pool
+        index = view.index
+        # One scipy call answers every source this step needs: all
+        # demand endpoints plus both endpoints of every candidate.
+        all_sources = sorted(
+            {a for a, _ in demands}
+            | {b for _, b in demands}
+            | {e for edge, _ in pool for e in edge}
+        )
+        dist, _pred, row_of = view.dijkstra(all_sources, "w")
+        cost_a: List[int] = []
+        cost_b: List[int] = []
+        cost_v: List[float] = []
+        for a, b in demands:
+            if not view.present(a):
+                continue
+            cost = dist[row_of[a], index[b]]
+            if not np.isfinite(cost):
+                continue
+            cost_a.append(index[a])
+            cost_b.append(index[b])
+            cost_v.append(float(cost))
+        ai = np.asarray(cost_a, dtype=np.int64)
+        bi = np.asarray(cost_b, dtype=np.int64)
+        costs = np.asarray(cost_v, dtype=float)
+        scores: List[Optional[float]] = []
+        for pos, (edge, length) in enumerate(pool):
+            if pos in applied:
+                scores.append(None)
+                continue
+            du = dist[row_of[edge[0]]]
+            dv = dist[row_of[edge[1]]]
+            new_weight = 1.0 + LENGTH_EPSILON * length
+            gain = candidate_gain(du, dv, ai, bi, costs, new_weight)
+            scores.append(gain - COST_PENALTY_PER_KM * length)
+        return scores
+
+    def apply(self, pos: int) -> float:
+        (a, b), length = self.pool[pos]
+        self.view.upsert_edge(
+            a,
+            b,
+            "w",
+            {"w": 1.0 + LENGTH_EPSILON * length, "risk": 1.0},
+            payload={"conduit": -1},
+        )
+        return _route_exposure(self.view, self.demands)
+
+
+class _ReferenceEngine:
+    """NetworkX reference state (two dict Dijkstras per candidate per
+    estimate); the scipy-absent and cross-check path."""
+
+    def __init__(
+        self,
+        fiber_map: FiberMap,
+        isp: str,
+        candidates: List[Tuple[EdgeKey, float]],
+    ):
+        self._fiber_map = fiber_map
+        self._isp = isp
+        self.router = _FootprintRouter(fiber_map, isp)
+        self.demands = sorted(
+            {link.endpoints for link in fiber_map.links_of(isp)}
+        )
+        footprint_cities = set(self.router.graph.nodes)
+        eligible = [
+            (edge, length)
+            for edge, length in candidates
+            if edge[0] in footprint_cities and edge[1] in footprint_cities
+        ]
+        self.pool = eligible[: _aug.MAX_CANDIDATES]
+        self.pool_truncated = len(eligible) - len(self.pool)
+        self.baseline = self.router.route_exposure(self.demands)
+
+    def reset(self) -> None:
+        self.router = _FootprintRouter(self._fiber_map, self._isp)
+
+    def estimate_scores(self, applied: Set[int]) -> List[Optional[float]]:
+        router = self.router
+        demands = self.demands
+        # Current demand costs, computed once per estimate: one Dijkstra
+        # per distinct demand source.
+        sources = sorted({a for a, _ in demands} | {b for _, b in demands})
+        dist_from: Dict[str, Dict[str, float]] = {
+            s: router.dijkstra_risk(s) for s in sources
+        }
+        current_cost: Dict[EdgeKey, float] = {}
+        for a, b in demands:
+            cost = dist_from.get(a, {}).get(b)
+            if cost is not None:
+                current_cost[(a, b)] = cost
+        inf = float("inf")
+        scores: List[Optional[float]] = []
+        for pos, (edge, length) in enumerate(self.pool):
+            if pos in applied:
+                scores.append(None)
+                continue
+            # Estimated gain: links that would reroute through the new
+            # conduit save (old path cost) - (cost via new conduit).
+            from_u = dist_from.get(edge[0], router.dijkstra_risk(edge[0]))
+            from_v = dist_from.get(edge[1], router.dijkstra_risk(edge[1]))
+            new_weight = 1.0 + LENGTH_EPSILON * length
+            gain = 0.0
+            for (a, b), cost in current_cost.items():
+                # Inf-safe on both orientations, mirroring the kernel's
+                # mask-on-the-min (see candidate_gain).
+                via_new = min(
+                    from_u.get(a, inf) + new_weight + from_v.get(b, inf),
+                    from_v.get(a, inf) + new_weight + from_u.get(b, inf),
+                )
+                if via_new < cost:
+                    gain += cost - via_new
+            scores.append(gain - COST_PENALTY_PER_KM * length)
+        return scores
+
+    def apply(self, pos: int) -> float:
+        edge, length = self.pool[pos]
+        self.router.add_private_conduit(edge, length)
+        return self.router.route_exposure(self.demands)
+
+
+class AugmentationEnv:
+    """One provider's §5.2 search environment.
+
+    State is an ordered tuple of applied pool indices (a *plan*).
+    :meth:`evaluate` routes the provider's demands after each addition
+    and returns the exposure trail; evaluating a plan that extends the
+    current one only applies the tail, so greedy's incremental loop
+    costs one measurement per step.  :meth:`estimate_scores` runs the
+    vectorized gain heuristic at the current state — the signal greedy
+    ranks on and smarter drivers may seed from.
+    """
+
+    def __init__(
+        self,
+        fiber_map: FiberMap,
+        network: TransportationNetwork,
+        isp: str,
+        max_k: int = 10,
+        candidates: Optional[List[Tuple[EdgeKey, float]]] = None,
+        substrate=None,
+    ):
+        if candidates is None:
+            candidates = candidate_new_edges(fiber_map, network)
+        resolved = resolve_substrate(fiber_map, substrate)
+        if resolved is None:
+            self._engine = _ReferenceEngine(fiber_map, isp, candidates)
+        else:
+            self._engine = _SubstrateEngine(
+                fiber_map, isp, candidates, resolved
+            )
+        self.isp = isp
+        self.max_k = max_k
+        self.pool = self._engine.pool
+        self.pool_truncated = self._engine.pool_truncated
+        self.baseline = self._engine.baseline
+        self.evaluations = 0
+        self._applied: List[int] = []
+        self._trail: List[float] = []
+        if self.pool_truncated:
+            get_tracer().count(
+                "mitigation.augmentation.candidates_truncated",
+                self.pool_truncated,
+            )
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.pool)
+
+    @property
+    def applied(self) -> Plan:
+        return tuple(self._applied)
+
+    def reset(self) -> None:
+        """Return to the unaugmented footprint."""
+        if self._applied:
+            self._engine.reset()
+            self._applied = []
+            self._trail = []
+
+    def estimate_scores(self) -> List[Optional[float]]:
+        """Heuristic score per pool candidate at the current state
+        (``None`` for already-applied candidates)."""
+        return self._engine.estimate_scores(set(self._applied))
+
+    def apply(self, pos: int) -> float:
+        """Add pool candidate *pos* and measure the resulting exposure."""
+        if not 0 <= pos < len(self.pool):
+            raise IndexError(f"candidate index out of range: {pos}")
+        if pos in self._applied:
+            raise ValueError(f"candidate {pos} already applied")
+        if len(self._applied) >= self.max_k:
+            raise ValueError(f"plan longer than max_k={self.max_k}")
+        exposure = self._engine.apply(pos)
+        self._applied.append(pos)
+        self._trail.append(exposure)
+        return exposure
+
+    def evaluate(self, plan: Sequence[int]) -> Tuple[float, ...]:
+        """Measured exposure after each addition of *plan*, in order.
+
+        Shares the prefix with the current state when possible; anything
+        else resets and replays (float-identical either way — routing is
+        a pure function of the applied set).
+        """
+        plan = tuple(int(p) for p in plan)
+        if len(set(plan)) != len(plan):
+            raise ValueError(f"plan repeats a candidate: {plan}")
+        if len(plan) > self.max_k:
+            raise ValueError(f"plan longer than max_k={self.max_k}: {plan}")
+        if list(plan[: len(self._applied)]) != self._applied:
+            self.reset()
+        for pos in plan[len(self._applied) :]:
+            self.apply(pos)
+        self.evaluations += 1
+        return tuple(self._trail)
+
+    def result(
+        self,
+        plan: Sequence[int],
+        exposures: Sequence[float],
+        driver: str,
+    ) -> AugmentationResult:
+        """Package a plan + exposure trail as Figure 11 data.
+
+        The trail is padded to ``max_k`` with its last value (the
+        baseline for an empty plan): once a search stops adding, the
+        curve flattens — Suddenlink's case in the paper.
+        """
+        plan = tuple(int(p) for p in plan)
+        exposures = tuple(float(x) for x in exposures)
+        if len(exposures) != len(plan):
+            raise ValueError("plan and exposure trail lengths differ")
+        pad = exposures[-1] if exposures else self.baseline
+        risk_after = exposures + (pad,) * (self.max_k - len(exposures))
+        return AugmentationResult(
+            isp=self.isp,
+            baseline_risk=self.baseline,
+            risk_after=risk_after,
+            added_edges=tuple(self.pool[p][0] for p in plan),
+            pool_size=len(self.pool),
+            pool_truncated=self.pool_truncated,
+            driver=driver,
+        )
+
+
+class Driver(Protocol):
+    """Search strategy over an :class:`AugmentationEnv`.
+
+    The :func:`run_driver` loop alternates ``propose`` (next plan to
+    measure, ``None`` to stop) and ``observe`` (the measured exposure
+    trail); ``best()`` then reports the winning plan.  Drivers carrying
+    an RNG must derive every draw from their seed so a fixed seed
+    replays exactly.
+    """
+
+    name: str
+
+    def propose(self, env: AugmentationEnv) -> Optional[Plan]: ...
+
+    def observe(self, plan: Plan, exposures: Tuple[float, ...]) -> None: ...
+
+    def best(self) -> Tuple[Plan, Tuple[float, ...]]: ...
+
+
+class GreedyDriver:
+    """The paper's §5.2 search: per step, rank candidates by estimated
+    gain minus the deployment-cost penalty, apply the strict-best
+    (first wins ties), stop when nothing scores above zero.
+
+    Byte-identical to the pre-driver ``improvement_curve``: the
+    selection loop, float accumulation order, and flat-curve stopping
+    behavior are unchanged.
+    """
+
+    name = "greedy"
+
+    def __init__(self, seed: int = 0):
+        # Deterministic search; the seed is accepted (and ignored) so
+        # every driver constructs uniformly.
+        self._plan: Plan = ()
+        self._exposures: Tuple[float, ...] = ()
+        self._done = False
+
+    def propose(self, env: AugmentationEnv) -> Optional[Plan]:
+        if self._done or len(self._plan) >= env.max_k:
+            return None
+        if env.applied != self._plan:
+            env.evaluate(self._plan)
+        best_pos: Optional[int] = None
+        best_score = 0.0
+        for pos, score in enumerate(env.estimate_scores()):
+            if score is not None and score > best_score:
+                best_score = score
+                best_pos = pos
+        if best_pos is None:
+            # No candidate helps; the curve flattens (Suddenlink's case).
+            self._done = True
+            return None
+        return self._plan + (best_pos,)
+
+    def observe(self, plan: Plan, exposures: Tuple[float, ...]) -> None:
+        self._plan = plan
+        self._exposures = exposures
+
+    def best(self) -> Tuple[Plan, Tuple[float, ...]]:
+        return self._plan, self._exposures
+
+
+class _StochasticDriver:
+    """Shared bookkeeping for the seeded search drivers: a private RNG,
+    an evaluation budget, and a best-ever incumbent that starts at the
+    empty plan (so no driver ever reports a plan worse than baseline)."""
+
+    name = "stochastic"
+
+    def __init__(self, seed: int = 0, budget: int = 64):
+        self._rng = random.Random(seed)
+        self.budget = int(budget)
+        self.evals = 0
+        self._best_plan: Plan = ()
+        self._best_exposures: Tuple[float, ...] = ()
+        self._best_final: Optional[float] = None
+
+    def _final(self, exposures: Tuple[float, ...], env_baseline: float) -> float:
+        return exposures[-1] if exposures else env_baseline
+
+    def _consider(self, plan: Plan, exposures: Tuple[float, ...], final: float) -> bool:
+        if self._best_final is None or final < self._best_final:
+            self._best_final = final
+            self._best_plan = plan
+            self._best_exposures = exposures
+            return True
+        return False
+
+    def _random_plan(self, env: AugmentationEnv, max_len: Optional[int] = None) -> Plan:
+        limit = min(env.max_k, env.num_candidates)
+        if max_len is not None:
+            limit = min(limit, max_len)
+        if limit <= 0:
+            return ()
+        k = self._rng.randint(1, limit)
+        return tuple(self._rng.sample(range(env.num_candidates), k))
+
+    def best(self) -> Tuple[Plan, Tuple[float, ...]]:
+        return self._best_plan, self._best_exposures
+
+
+class RandomBaselineDriver(_StochasticDriver):
+    """Uniform random plans — the floor every smarter driver must beat."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, budget: int = 64):
+        super().__init__(seed=seed, budget=budget)
+        self._baseline: Optional[float] = None
+
+    def propose(self, env: AugmentationEnv) -> Optional[Plan]:
+        if self._baseline is None:
+            self._baseline = env.baseline
+            self._best_final = env.baseline
+        if self.evals >= self.budget or env.num_candidates == 0:
+            return None
+        return self._random_plan(env)
+
+    def observe(self, plan: Plan, exposures: Tuple[float, ...]) -> None:
+        self.evals += 1
+        self._consider(plan, exposures, self._final(exposures, self._baseline))
+
+
+class AnnealingDriver(_StochasticDriver):
+    """Simulated annealing over plan mutations.
+
+    A move mutates the current plan (add / drop / swap a candidate);
+    worse plans are accepted with probability ``exp(-delta / T)`` under
+    a geometric cooling schedule scaled to the baseline exposure, so
+    acceptance behaves consistently across providers with very
+    different exposure magnitudes.
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        budget: int = 64,
+        initial_temp: float = 0.05,
+        cooling: float = 0.92,
+    ):
+        super().__init__(seed=seed, budget=budget)
+        self.initial_temp = float(initial_temp)
+        self.cooling = float(cooling)
+        self._baseline: Optional[float] = None
+        self._current_plan: Plan = ()
+        self._current_final: Optional[float] = None
+        self._pending: Optional[Plan] = None
+
+    def _mutate(self, env: AugmentationEnv, plan: Plan) -> Plan:
+        pool = env.num_candidates
+        unused = [p for p in range(pool) if p not in plan]
+        moves: List[str] = []
+        if plan and len(plan) < env.max_k and unused:
+            moves.append("add")
+        if len(plan) > 1:
+            moves.append("drop")
+        if plan and unused:
+            moves.append("swap")
+        if not moves:
+            return self._random_plan(env)
+        move = self._rng.choice(moves)
+        if move == "add":
+            pos = self._rng.randrange(len(plan) + 1)
+            cand = self._rng.choice(unused)
+            return plan[:pos] + (cand,) + plan[pos:]
+        if move == "drop":
+            pos = self._rng.randrange(len(plan))
+            return plan[:pos] + plan[pos + 1 :]
+        pos = self._rng.randrange(len(plan))
+        cand = self._rng.choice(unused)
+        return plan[:pos] + (cand,) + plan[pos + 1 :]
+
+    def propose(self, env: AugmentationEnv) -> Optional[Plan]:
+        if self._baseline is None:
+            self._baseline = env.baseline
+            self._best_final = env.baseline
+            self._current_final = env.baseline
+        if self.evals >= self.budget or env.num_candidates == 0:
+            return None
+        if self._current_plan:
+            self._pending = self._mutate(env, self._current_plan)
+        else:
+            self._pending = self._random_plan(env)
+        return self._pending
+
+    def observe(self, plan: Plan, exposures: Tuple[float, ...]) -> None:
+        self.evals += 1
+        final = self._final(exposures, self._baseline)
+        self._consider(plan, exposures, final)
+        delta = final - self._current_final
+        scale = max(abs(self._baseline), 1e-12)
+        temp = self.initial_temp * scale * (self.cooling ** self.evals)
+        accept = delta <= 0.0
+        if not accept and temp > 0.0:
+            accept = self._rng.random() < _safe_exp(-delta / temp)
+        if accept:
+            self._current_plan = plan
+            self._current_final = final
+
+
+class EvolutionaryDriver(_StochasticDriver):
+    """Generational GA: tournament selection, one-point crossover on
+    plans (order-preserving dedupe), mutation via the annealer's move
+    set, elitism of the top two."""
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        budget: int = 64,
+        population: int = 8,
+        mutation_rate: float = 0.35,
+    ):
+        super().__init__(seed=seed, budget=budget)
+        self.population = max(2, int(population))
+        self.mutation_rate = float(mutation_rate)
+        self._baseline: Optional[float] = None
+        self._pending: List[Plan] = []
+        self._scored: List[Tuple[float, Plan]] = []
+        self._mutator = AnnealingDriver(seed=0)
+
+    def _crossover(self, env: AugmentationEnv, pa: Plan, pb: Plan) -> Plan:
+        cut_a = self._rng.randint(0, len(pa))
+        cut_b = self._rng.randint(0, len(pb))
+        merged: List[int] = []
+        for pos in pa[:cut_a] + pb[cut_b:]:
+            if pos not in merged:
+                merged.append(pos)
+        child = tuple(merged[: env.max_k])
+        if not child:
+            return self._random_plan(env, max_len=2)
+        return child
+
+    def _next_generation(self, env: AugmentationEnv) -> List[Plan]:
+        ranked = sorted(self._scored, key=lambda sf: (sf[0], sf[1]))
+        elite = [plan for _, plan in ranked[:2]]
+        children: List[Plan] = list(elite)
+        while len(children) < self.population:
+            parents: List[Plan] = []
+            for _ in range(2):
+                i, j = self._rng.sample(range(len(ranked)), 2)
+                parents.append(
+                    ranked[i][1] if ranked[i][0] <= ranked[j][0] else ranked[j][1]
+                )
+            child = self._crossover(env, parents[0], parents[1])
+            if self._rng.random() < self.mutation_rate:
+                self._mutator._rng = self._rng
+                child = self._mutator._mutate(env, child)
+            children.append(child)
+        self._scored = []
+        return children
+
+    def propose(self, env: AugmentationEnv) -> Optional[Plan]:
+        if self._baseline is None:
+            self._baseline = env.baseline
+            self._best_final = env.baseline
+        if self.evals >= self.budget or env.num_candidates == 0:
+            return None
+        if not self._pending:
+            if not self._scored:
+                self._pending = [
+                    self._random_plan(env, max_len=3)
+                    for _ in range(self.population)
+                ]
+            else:
+                self._pending = self._next_generation(env)
+        return self._pending.pop(0)
+
+    def observe(self, plan: Plan, exposures: Tuple[float, ...]) -> None:
+        self.evals += 1
+        final = self._final(exposures, self._baseline)
+        self._consider(plan, exposures, final)
+        self._scored.append((final, plan))
+
+
+def _safe_exp(x: float) -> float:
+    import math
+
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return 0.0 if x < 0 else float("inf")
+
+
+#: Registered driver factories, keyed by canonical name.
+DRIVERS = {
+    "greedy": GreedyDriver,
+    "anneal": AnnealingDriver,
+    "evolutionary": EvolutionaryDriver,
+    "random": RandomBaselineDriver,
+}
+
+_ALIASES = {
+    "greedy": "greedy",
+    "anneal": "anneal",
+    "annealing": "anneal",
+    "simulated-annealing": "anneal",
+    "sa": "anneal",
+    "evolutionary": "evolutionary",
+    "evolve": "evolutionary",
+    "ga": "evolutionary",
+    "genetic": "evolutionary",
+    "random": "random",
+    "random-baseline": "random",
+}
+
+
+def canonical_driver(name: str) -> str:
+    """Resolve a driver alias to its canonical registry name."""
+    canon = _ALIASES.get(name.strip().lower())
+    if canon is None:
+        known = ", ".join(sorted(DRIVERS))
+        raise ValueError(f"unknown driver {name!r} (known: {known})")
+    return canon
+
+
+def make_driver(
+    spec: Union[str, Driver],
+    seed: int = 0,
+    **params,
+) -> Driver:
+    """Build a driver from a name/alias, or pass an instance through."""
+    if not isinstance(spec, str):
+        return spec
+    return DRIVERS[canonical_driver(spec)](seed=seed, **params)
+
+
+def run_driver(env: AugmentationEnv, driver: Driver) -> AugmentationResult:
+    """Drive the propose/observe loop to completion and package the
+    driver's best plan as an :class:`AugmentationResult`."""
+    while True:
+        plan = driver.propose(env)
+        if plan is None:
+            break
+        exposures = env.evaluate(plan)
+        driver.observe(tuple(plan), exposures)
+    best_plan, best_exposures = driver.best()
+    return env.result(best_plan, best_exposures, driver.name)

@@ -162,6 +162,47 @@ class ArtifactCache:
             fcntl.flock(fd, fcntl.LOCK_UN)
             os.close(fd)
 
+    @contextlib.contextmanager
+    def single_flight(
+        self, stage: str, params: Dict[str, Any]
+    ) -> Iterator[bool]:
+        """Cross-process build lock for one ``(stage, params)`` key.
+
+        Sweep cells (and any other processes sharing a cache root)
+        race to build identical stage artifacts; holding this lock
+        around the miss→build→store window collapses the duplicates:
+        one process builds while the rest block, then find the stored
+        entry on re-fetch.  Yields ``True`` when the lock was contended
+        — i.e. another process may have built the artifact while we
+        waited and the caller should re-fetch before building.
+
+        Lock files live under ``<root>/locks/`` (outside the entry
+        glob, so ``clear``/``prune`` never sweep an active lock) and
+        ``flock`` releases them even if the holder dies mid-build.  On
+        platforms without ``fcntl`` this degrades to a no-op: builds
+        may duplicate, but ``store``'s atomic rename keeps the cache
+        consistent.
+        """
+        if not HAVE_FCNTL:
+            yield False
+            return
+        lock_path = (
+            self.root / "locks" / (self._path_for(stage, params).stem + ".lock")
+        )
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR)
+        try:
+            contended = False
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                contended = True
+            yield contended
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     def _quarantine(self, path: Path, stage: str) -> None:
         """Move a corrupt entry out of the lookup path, never to be
         re-read; deleted outright if the move itself fails."""

@@ -1,0 +1,118 @@
+"""Sweep grids: parse axis specs, expand them into frozen cells.
+
+A sweep runs the §4/§5 statistic battery over a cartesian grid of
+scenario and optimizer parameters.  Axes arrive as ``KEY=SPEC`` strings
+(the CLI's repeatable ``--grid`` flag):
+
+* ``seed=2015..2024`` — inclusive integer range
+* ``seed=2015,2019,2023`` — explicit list
+* ``driver=greedy,anneal`` — optimizer drivers (aliases resolve)
+* ``traces=2000`` / ``max_k=4`` / ``driver_seed=0..2`` — scalars/ranges
+
+Expansion is deterministic: axes iterate in canonical order and cells
+come out in row-major cartesian order, so the same grid spec always
+produces the same cell sequence (and therefore the same sweep manifest
+shape).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.mitigation.drivers import canonical_driver
+
+#: Canonical axis order — also the cartesian expansion order.
+AXIS_ORDER = ("seed", "traces", "max_k", "driver", "driver_seed")
+
+_INT_AXES = frozenset({"seed", "traces", "max_k", "driver_seed"})
+
+#: Default campaign size per cell: big enough for a stable risk matrix,
+#: small enough that a cell is dominated by map construction.
+DEFAULT_CELL_TRACES = 2000
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the sweep grid — a frozen scenario + driver choice."""
+
+    seed: int
+    traces: int = DEFAULT_CELL_TRACES
+    max_k: int = 4
+    driver: str = "greedy"
+    driver_seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return (
+            f"seed={self.seed} driver={self.driver}"
+            f"/{self.driver_seed} traces={self.traces} k={self.max_k}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _parse_values(key: str, spec: str) -> List[Any]:
+    """The value list for one axis spec (range, list, or scalar)."""
+    spec = spec.strip()
+    if not spec:
+        raise ValueError(f"empty value for sweep axis {key!r}")
+    if key in _INT_AXES and ".." in spec:
+        lo_s, _, hi_s = spec.partition("..")
+        try:
+            lo, hi = int(lo_s), int(hi_s)
+        except ValueError:
+            raise ValueError(
+                f"bad range for sweep axis {key!r}: {spec!r}"
+            ) from None
+        if hi < lo:
+            raise ValueError(f"descending range for sweep axis {key!r}: {spec!r}")
+        return list(range(lo, hi + 1))
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    if key in _INT_AXES:
+        try:
+            return [int(p) for p in parts]
+        except ValueError:
+            raise ValueError(
+                f"non-integer value for sweep axis {key!r}: {spec!r}"
+            ) from None
+    if key == "driver":
+        return [canonical_driver(p) for p in parts]
+    raise AssertionError(key)  # pragma: no cover - guarded by caller
+
+
+def parse_grid(specs: Sequence[str]) -> Dict[str, List[Any]]:
+    """``KEY=SPEC`` strings → axis-name → value list.
+
+    Later specs for the same axis replace earlier ones (so a CLI
+    default can be overridden by an explicit ``--grid``).
+    """
+    axes: Dict[str, List[Any]] = {}
+    for spec in specs:
+        key, sep, value = spec.partition("=")
+        key = key.strip().lower()
+        if not sep:
+            raise ValueError(f"sweep axis must be KEY=SPEC, got {spec!r}")
+        if key not in AXIS_ORDER:
+            known = ", ".join(AXIS_ORDER)
+            raise ValueError(f"unknown sweep axis {key!r} (known: {known})")
+        values = _parse_values(key, value)
+        deduped = list(dict.fromkeys(values))
+        axes[key] = deduped
+    return axes
+
+
+def expand_grid(axes: Dict[str, List[Any]]) -> List[SweepCell]:
+    """Cartesian expansion of *axes* into cells, row-major in
+    :data:`AXIS_ORDER`.  ``seed`` is the only required axis."""
+    if "seed" not in axes or not axes["seed"]:
+        raise ValueError("a sweep grid needs at least one seed")
+    ordered: List[Tuple[str, List[Any]]] = [
+        (key, axes[key]) for key in AXIS_ORDER if key in axes
+    ]
+    cells = []
+    for combo in itertools.product(*(values for _, values in ordered)):
+        cells.append(SweepCell(**dict(zip((k for k, _ in ordered), combo))))
+    return cells

@@ -1,0 +1,156 @@
+"""Columnar cross-scenario summary for sweep runs.
+
+Cells stream in one at a time (:meth:`SweepSummary.add`) and land in
+parallel column lists — one list per metric, indexed by cell — rather
+than a list of nested dicts, so aggregation is a pass over a column and
+a finished sweep serializes compactly.  :meth:`SweepSummary.aggregates`
+then reduces the columns into the cross-scenario statistics the ISSUE
+asks for: the distribution of sharing, of SRR, and of augmentation gain
+per driver.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Dict, List, Optional
+
+#: Cell-level columns carried by the summary, in serialization order.
+COLUMNS = (
+    "seed",
+    "traces",
+    "max_k",
+    "driver",
+    "driver_seed",
+    "ok",
+    "duration_s",
+    "cache_hits",
+    "cache_misses",
+    "mean_gain",
+    "max_gain",
+    "srr_avg",
+    "pi_avg",
+    "share_ge2",
+    "share_ge3",
+    "share_ge4",
+    "pool_truncated",
+)
+
+
+def _dist(values: List[float]) -> Optional[Dict[str, float]]:
+    """min/mean/median/max over *values* (``None`` when empty)."""
+    if not values:
+        return None
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "median": statistics.median(values),
+        "max": max(values),
+        "n": len(values),
+    }
+
+
+class SweepSummary:
+    """Streaming columnar accumulator over per-cell results."""
+
+    def __init__(self) -> None:
+        self.columns: Dict[str, List[Any]] = {name: [] for name in COLUMNS}
+        #: Per-driver final improvement ratios, pooled over (cell, ISP).
+        self.gains_by_driver: Dict[str, List[float]] = {}
+        self.errors: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.columns["seed"])
+
+    def add(self, cell: Dict[str, Any]) -> None:
+        """Fold one cell-result dict (orchestrator shape) into columns."""
+        spec = cell["cell"]
+        metrics = cell.get("metrics") or {}
+        cache = cell.get("cache") or {}
+        row = {
+            "seed": spec["seed"],
+            "traces": spec["traces"],
+            "max_k": spec["max_k"],
+            "driver": spec["driver"],
+            "driver_seed": spec["driver_seed"],
+            "ok": bool(cell.get("ok")),
+            "duration_s": cell.get("duration_s"),
+            "cache_hits": cache.get("hits", 0),
+            "cache_misses": cache.get("misses", 0),
+            "mean_gain": metrics.get("mean_gain"),
+            "max_gain": metrics.get("max_gain"),
+            "srr_avg": metrics.get("srr_avg"),
+            "pi_avg": metrics.get("pi_avg"),
+            "share_ge2": (metrics.get("sharing") or {}).get(2),
+            "share_ge3": (metrics.get("sharing") or {}).get(3),
+            "share_ge4": (metrics.get("sharing") or {}).get(4),
+            "pool_truncated": metrics.get("pool_truncated", 0),
+        }
+        for name in COLUMNS:
+            self.columns[name].append(row[name])
+        if cell.get("ok"):
+            pooled = self.gains_by_driver.setdefault(spec["driver"], [])
+            pooled.extend((metrics.get("gains") or {}).values())
+        else:
+            self.errors.append(
+                {"cell": dict(spec), "error": cell.get("error")}
+            )
+
+    # ------------------------------------------------------------------
+    def _ok_column(self, name: str) -> List[float]:
+        return [
+            value
+            for value, ok in zip(self.columns[name], self.columns["ok"])
+            if ok and value is not None
+        ]
+
+    def _per_seed_first(self, name: str) -> List[float]:
+        """One value per distinct seed (first ok cell wins) — sharing
+        and SRR are driver-independent, so duplicating them across the
+        driver axis would skew their distributions."""
+        seen: Dict[int, float] = {}
+        for seed, value, ok in zip(
+            self.columns["seed"], self.columns[name], self.columns["ok"]
+        ):
+            if ok and value is not None and seed not in seen:
+                seen[seed] = value
+        return list(seen.values())
+
+    def aggregates(self) -> Dict[str, Any]:
+        """Cross-scenario statistics over every streamed cell."""
+        return {
+            "cells": len(self),
+            "cells_ok": sum(1 for ok in self.columns["ok"] if ok),
+            "seeds": len(dict.fromkeys(self.columns["seed"])),
+            "gain_per_driver": {
+                driver: _dist(gains)
+                for driver, gains in sorted(self.gains_by_driver.items())
+            },
+            "mean_gain_per_driver": {
+                driver: _dist(
+                    [
+                        g
+                        for g, d, ok in zip(
+                            self.columns["mean_gain"],
+                            self.columns["driver"],
+                            self.columns["ok"],
+                        )
+                        if ok and d == driver and g is not None
+                    ]
+                )
+                for driver in sorted(dict.fromkeys(self.columns["driver"]))
+            },
+            "srr": _dist(self._per_seed_first("srr_avg")),
+            "sharing_ge2": _dist(self._per_seed_first("share_ge2")),
+            "sharing_ge4": _dist(self._per_seed_first("share_ge4")),
+            "duration_s": _dist(self._ok_column("duration_s")),
+            "pool_truncated_total": sum(
+                v or 0 for v in self.columns["pool_truncated"]
+            ),
+            "errors": self.errors,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "columns": {name: list(col) for name, col in self.columns.items()},
+            "aggregates": self.aggregates(),
+        }
