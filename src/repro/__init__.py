@@ -13,6 +13,13 @@ Quick start::
     print(scenario.constructed_map.stats())
     print(scenario.risk_matrix.isp_average_risk("Level 3"))
 
+Other map universes load through the family registry
+(:mod:`repro.families`)::
+
+    from repro import load_scenario
+    global_map = load_scenario("global2023")
+    print(global_map.constructed_map.stats())
+
 Subpackages: :mod:`repro.geo` (geospatial substrate), :mod:`repro.data`
 (cities / corridors / providers), :mod:`repro.transport` (rights-of-way),
 :mod:`repro.fibermap` (map model + §2 pipeline), :mod:`repro.traceroute`
@@ -31,15 +38,20 @@ from repro.fibermap import (
     Node,
     synthesize_ground_truth,
 )
+from repro.families import MapFamily, family_names, get_family
 from repro.risk import RiskMatrix
-from repro.scenario import Scenario, ScenarioConfig, us2015
+from repro.scenario import Scenario, ScenarioConfig, load_scenario, us2015
 
 __version__ = "1.0.0"
 
 __all__ = [
     "us2015",
+    "load_scenario",
     "Scenario",
     "ScenarioConfig",
+    "MapFamily",
+    "get_family",
+    "family_names",
     "FiberMap",
     "Conduit",
     "Link",

@@ -31,7 +31,11 @@ a typed :mod:`repro.service.schema` request and dispatch through the
 same handlers as the HTTP service, so ``--json`` prints exactly the
 body ``POST /v1/query`` would return.
 
-Global options: ``--seed N`` (default 2015), ``--traces N`` campaign size
+``families``               list registered map families
+
+Global options: ``--family NAME`` map family (default ``us2015``; e.g.
+``--family global2023`` for the submarine-cable universe), ``--seed N``
+(default: the family's canonical seed), ``--traces N`` campaign size
 (default 20000, the library's ``DEFAULT_CAMPAIGN_TRACES``), ``--workers N``
 campaign worker processes (0 = one per core), ``--cache-dir PATH`` /
 ``--no-cache`` to control the artifact cache, ``--trace PATH`` to record a
@@ -48,7 +52,13 @@ import os
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.scenario import DEFAULT_CAMPAIGN_TRACES, Scenario, ScenarioConfig, us2015
+from repro.families import DEFAULT_FAMILY, family_names, get_family
+from repro.scenario import (
+    DEFAULT_CAMPAIGN_TRACES,
+    Scenario,
+    ScenarioConfig,
+    load_scenario,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,7 +66,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="InterTubes (SIGCOMM 2015) reproduction toolkit",
     )
-    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument(
+        "--family", default=DEFAULT_FAMILY, choices=family_names(),
+        help=f"map family to build (default {DEFAULT_FAMILY})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="scenario seed (default: the family's canonical seed, "
+             "2015 for us2015)",
+    )
     parser.add_argument(
         "--traces", type=int, default=DEFAULT_CAMPAIGN_TRACES,
         help="traceroute campaign size (traffic analyses; "
@@ -89,6 +107,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("experiments", help="list registered experiments")
+
+    sub.add_parser("families", help="list registered map families")
 
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
@@ -134,10 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "Dijkstra solve (default 2 ms)",
     )
     serve.add_argument(
-        "--scenario", action="append", metavar="NAME=SEED[:TRACES]",
+        "--scenario", action="append",
+        metavar="NAME=[FAMILY:]SEED[:TRACES]",
         default=None,
         help="serve an extra named scenario variant alongside "
-             "'default' (repeatable); TRACES falls back to --traces",
+             "'default' (repeatable); FAMILY falls back to --family "
+             "and TRACES to --traces (e.g. east=2016, "
+             "global=global2023:2023:2000)",
     )
     serve.add_argument(
         "--no-warm", action="store_true",
@@ -152,8 +175,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--grid", action="append", metavar="KEY=SPEC", default=None,
         help="sweep axis (repeatable): seed=2015..2024, seed=1,5,9, "
-             "driver=greedy,anneal, traces=2000, max_k=4, "
-             "driver_seed=0..2; the seed axis defaults to --seed",
+             "driver=greedy,anneal, family=us2015,global2023, "
+             "traces=2000, max_k=4, driver_seed=0..2; the seed and "
+             "family axes default to --seed / --family",
     )
     sweep.add_argument(
         "--driver", default=None, metavar="NAMES",
@@ -263,10 +287,37 @@ def _cmd_experiments() -> int:
     return 0
 
 
+def _cmd_families(as_json: bool) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    if as_json:
+        _emit_json([get_family(name).describe() for name in family_names()])
+        return 0
+    for name in family_names():
+        family = get_family(name)
+        experiments = (
+            "all experiments"
+            if family.experiments is None
+            else f"{len(family.supported_experiments(EXPERIMENTS))} of "
+                 f"{len(EXPERIMENTS)} experiments"
+        )
+        print(f"{name:12s} {family.title}")
+        print(
+            f"{'':12s} geography: {family.geographic_model}; "
+            f"risk: {family.risk_semantics}; "
+            f"default seed {family.default_seed}; {experiments}"
+        )
+    return 0
+
+
 def _cmd_run(scenario: Scenario, ids: List[str], as_json: bool) -> int:
     from repro.experiments import EXPERIMENTS, run_experiment
+    from repro.experiments.runner import UnsupportedExperimentError
 
-    chosen = sorted(EXPERIMENTS) if ids == ["all"] else ids
+    family = scenario.family
+    chosen = (
+        family.supported_experiments(EXPERIMENTS) if ids == ["all"] else ids
+    )
     unknown = [i for i in chosen if i not in EXPERIMENTS]
     if unknown:
         print(
@@ -275,7 +326,11 @@ def _cmd_run(scenario: Scenario, ids: List[str], as_json: bool) -> int:
         return 2
     results = []
     for experiment_id in chosen:
-        result = run_experiment(experiment_id, scenario)
+        try:
+            result = run_experiment(experiment_id, scenario)
+        except UnsupportedExperimentError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         if as_json:
             results.append(result.to_json())
         else:
@@ -300,10 +355,19 @@ def _cmd_map(scenario: Scenario, geojson: Optional[str], width: int) -> int:
     return 0
 
 
+_LAYER_TITLES = {
+    "road": "Roadway layer",
+    "rail": "Railway layer",
+    "pipeline": "Pipeline layer",
+    "sea": "Submarine cable layer",
+}
+
+
 def _cmd_layers(scenario: Scenario) -> int:
     from repro.analysis.render import render_transport
 
-    for kind, title in (("road", "Roadway layer"), ("rail", "Railway layer")):
+    for kind in scenario.family.row_kinds[0]:
+        title = _LAYER_TITLES.get(kind, f"{kind} layer")
         print(f"--- {title} ---")
         print(render_transport(scenario.network, kind))
         print()
@@ -516,25 +580,38 @@ def _cmd_serve(scenario: Scenario, args: argparse.Namespace, tracer) -> int:
     base = scenario.config
     for spec in args.scenario or []:
         name, _, params = spec.partition("=")
-        seed_part, _, traces_part = params.partition(":")
         try:
-            if not name or not seed_part:
+            if not name or not params:
                 raise ValueError(spec)
-            seed = int(seed_part)
+            parts = params.split(":")
+            # Legacy NAME=SEED[:TRACES] (seed first) vs the family-
+            # qualified NAME=FAMILY:SEED[:TRACES]: an integer first
+            # token is always a seed.
+            try:
+                int(parts[0])
+                family = base.family
+            except ValueError:
+                family = parts[0]
+                parts = parts[1:]
+            if not parts or len(parts) > 2 or not parts[0]:
+                raise ValueError(spec)
+            seed = int(parts[0])
             traces = (
-                int(traces_part) if traces_part else base.campaign_traces
+                int(parts[1]) if len(parts) > 1 and parts[1]
+                else base.campaign_traces
             )
             variant = ScenarioConfig(
                 seed=seed,
                 campaign_traces=traces,
                 workers=base.workers,
                 cache=base.cache,
+                family=family,
             )
-            registry.add(name, scenario=us2015(config=variant))
+            registry.add(name, scenario=load_scenario(config=variant))
         except ValueError as error:
             print(
                 f"bad --scenario spec {spec!r} "
-                f"(want NAME=SEED[:TRACES]): {error}",
+                f"(want NAME=[FAMILY:]SEED[:TRACES]): {error}",
                 file=sys.stderr,
             )
             return 2
@@ -572,6 +649,7 @@ def _cmd_sweep(
             axes.setdefault("driver", parse_grid([f"driver={args.driver}"])["driver"])
         axes.setdefault("seed", [args.seed])
         axes.setdefault("max_k", [args.max_k])
+        axes.setdefault("family", [args.family])
         if "traces" not in axes:
             from repro.sweep.grid import DEFAULT_CELL_TRACES
 
@@ -597,8 +675,10 @@ def _cmd_sweep(
     def progress(cell: Dict[str, Any]) -> None:
         spec = cell["cell"]
         status = "ok" if cell["ok"] else "FAILED"
+        family = spec.get("family", DEFAULT_FAMILY)
+        prefix = "" if family == DEFAULT_FAMILY else f"{family} "
         print(
-            f"  cell seed={spec['seed']} driver={spec['driver']}"
+            f"  cell {prefix}seed={spec['seed']} driver={spec['driver']}"
             f"/{spec['driver_seed']} k={spec['max_k']}: {status} "
             f"({cell['duration_s']:.2f}s, cache {cell['cache']['hits']}h/"
             f"{cell['cache']['misses']}m)",
@@ -625,6 +705,7 @@ def _cmd_sweep(
         spec = cell["cell"]
         metrics = cell.get("metrics") or {}
         rows.append([
+            spec.get("family", DEFAULT_FAMILY),
             str(spec["seed"]),
             spec["driver"],
             str(spec["driver_seed"]),
@@ -636,7 +717,7 @@ def _cmd_sweep(
             f"{cell['duration_s']:.2f}",
         ])
     print(format_table(
-        ["seed", "driver", "dseed", "k", "status", "mean gain",
+        ["family", "seed", "driver", "dseed", "k", "status", "mean gain",
          "avg SRR", "cache h/m", "secs"],
         rows,
         title=f"Sweep: {len(result.cells)} cells, "
@@ -684,6 +765,7 @@ def _cmd_cache(
                 bucket["size_bytes"] += entry.size_bytes
             orphans = cache.orphan_tmp_files()
             quarantined = cache.quarantined_files()
+            locks = cache.lock_files()
             _emit_json({
                 "root": str(cache.root),
                 "artifacts": len(entries),
@@ -691,6 +773,7 @@ def _cmd_cache(
                 "stages": by_stage,
                 "orphaned_tmp_files": len(orphans),
                 "quarantined_entries": len(quarantined),
+                "lock_files": len(locks),
             })
             return 0
         print(cache.info_text())
@@ -704,6 +787,7 @@ def _cmd_cache(
                 "evicted": result.evicted,
                 "orphans_swept": result.orphans_swept,
                 "quarantine_removed": result.quarantine_removed,
+                "locks_swept": result.locks_swept,
                 "bytes_freed": result.bytes_freed,
                 "bytes_remaining": result.bytes_remaining,
             })
@@ -711,7 +795,8 @@ def _cmd_cache(
         print(
             f"pruned {cache.root}: evicted {result.evicted} artifact(s), "
             f"swept {result.orphans_swept} orphan(s), removed "
-            f"{result.quarantine_removed} quarantined file(s), freed "
+            f"{result.quarantine_removed} quarantined file(s), swept "
+            f"{result.locks_swept} stale lock(s), freed "
             f"{result.bytes_freed / 1e6:.2f} MB "
             f"({result.bytes_remaining / 1e6:.2f} MB remain)"
         )
@@ -861,8 +946,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.seed is None:
+        args.seed = get_family(args.family).default_seed
     if args.command == "experiments":
         return _cmd_experiments()
+    if args.command == "families":
+        return _cmd_families(args.json)
     if args.command == "cache":
         return _cmd_cache(
             args.action, args.cache_dir, args.json, args.max_mb
@@ -878,11 +967,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
         campaign_traces=args.traces,
         workers=args.workers,
         cache=cache,
+        family=args.family,
     )
     tracer = Tracer() if args.trace else None
     previous = set_tracer(tracer) if tracer is not None else None
     try:
-        scenario = us2015(config=config)
+        scenario = load_scenario(config=config)
         if args.command == "run":
             return _cmd_run(scenario, args.ids, args.json)
         if args.command == "map":

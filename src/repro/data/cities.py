@@ -435,6 +435,40 @@ for _city in CITIES:
 _BY_CODE: Dict[str, City] = {code: _BY_KEY[key] for code, key in _TAKEN.items()}
 
 
+def register_cities(cities: Iterable[City]) -> List[City]:
+    """Register extension cities (e.g. submarine-cable landing stations).
+
+    Added cities join the lookup tables — ``city_by_name`` (by full
+    ``"Name, CC"`` key), ``city_by_code``, and therefore router
+    naming-hint decoding — but **not** the base :data:`CITIES` tuple, so
+    the US map-construction pools, ``cities_over`` thresholds, and the
+    geolocation candidate sets are byte-identical with or without any
+    extension registered.  Codes are derived with the same deterministic
+    collision-handling scheme as the base dataset.
+
+    Idempotent: re-registering an identical city is a no-op; registering
+    a different city under an existing key raises ``ValueError``.
+    """
+    added: List[City] = []
+    for city in cities:
+        existing = _BY_KEY.get(city.key)
+        if existing is not None:
+            if existing != city:
+                raise ValueError(
+                    f"city {city.key!r} already registered with "
+                    f"different data"
+                )
+            added.append(existing)
+            continue
+        code = _derive_code(city.name, city.state, _TAKEN)
+        _BY_KEY[city.key] = city
+        _TAKEN[code] = city.key
+        _CODES[city.key] = code
+        _BY_CODE[code] = city
+        added.append(city)
+    return added
+
+
 def city_by_name(name: str, state: Optional[str] = None) -> City:
     """Look up a city by ``"Name, ST"`` key or by name + state.
 

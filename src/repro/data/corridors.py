@@ -20,10 +20,14 @@ from typing import List, Tuple
 from repro.data.cities import city_by_name
 
 #: Infrastructure kinds (Figure 2 = road, Figure 3 = rail, Figure 5 = pipeline).
+#: ``sea`` is the submarine-cable extension: a corridor between two
+#: landing-station cities whose "right-of-way" is the cable route itself
+#: (map families beyond the US long-haul plant use it; no US corridor does).
 KIND_ROAD = "road"
 KIND_RAIL = "rail"
 KIND_PIPELINE = "pipeline"
-KINDS = (KIND_ROAD, KIND_RAIL, KIND_PIPELINE)
+KIND_SEA = "sea"
+KINDS = (KIND_ROAD, KIND_RAIL, KIND_PIPELINE, KIND_SEA)
 
 
 #: Corridor grades: primary corridors are interstates / class-1 rail /

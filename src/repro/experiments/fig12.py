@@ -33,6 +33,7 @@ def run(scenario: Scenario, max_pairs: int = 400) -> Fig12Result:
         scenario.network,
         max_pairs=max_pairs,
         substrate=scenario.substrate,
+        row_kinds=scenario.family.row_kinds[0],
     )
     p50, p75 = study.row_los_gap_percentiles((50.0, 75.0))
     ratios = [p.avg_ms / p.best_ms for p in study.pairs if p.best_ms > 0]

@@ -54,6 +54,23 @@ class UndeclaredStageAccessError(StageGraphError):
     """An experiment touched a scenario stage it did not declare."""
 
 
+class UnsupportedExperimentError(ValueError):
+    """An experiment was requested on a family that excludes it.
+
+    Carries the experiment id, the family name, and the family's
+    supported ids, so frontends can render a structured error.
+    """
+
+    def __init__(self, experiment_id: str, family: str, supported):
+        self.experiment_id = experiment_id
+        self.family = family
+        self.supported = tuple(supported)
+        super().__init__(
+            f"experiment {experiment_id!r} is not supported by map "
+            f"family {family!r}; supported: {', '.join(self.supported)}"
+        )
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One registered experiment (a paper table/figure or an extension)."""
@@ -171,6 +188,26 @@ def _register() -> Dict[str, Experiment]:
 EXPERIMENTS: Dict[str, Experiment] = _register()
 
 
+def _check_family_declarations() -> None:
+    """Fail at import when a registered family declares experiment ids
+    that do not exist — the declaration can never drift silently."""
+    from repro.families import family_names, get_family
+
+    for name in family_names():
+        family = get_family(name)
+        if family.experiments is None:
+            continue
+        unknown = sorted(family.experiments - set(EXPERIMENTS))
+        if unknown:
+            raise StageGraphError(
+                f"map family {name!r} declares unknown experiment(s): "
+                f"{unknown}"
+            )
+
+
+_check_family_declarations()
+
+
 @dataclass(frozen=True)
 class ExperimentResult:
     """The typed outcome of one experiment run.
@@ -221,6 +258,13 @@ def run_experiment(
     """
     experiment = EXPERIMENTS[experiment_id]
     scenario = scenario if scenario is not None else us2015()
+    family = scenario.family
+    if not family.supports(experiment_id):
+        raise UnsupportedExperimentError(
+            experiment_id,
+            family.name,
+            family.supported_experiments(EXPERIMENTS),
+        )
     tracer = get_tracer()
     with tracer.span(f"experiment.{experiment_id}"):
         scenario.graph.materialize_many(experiment.requires)
@@ -248,8 +292,10 @@ def run_all(
 ) -> Iterator[ExperimentResult]:
     """Run experiments in id order, streaming each result.
 
-    Runs every registered experiment by default, or just ``ids`` when
-    given (unknown ids raise ``KeyError`` before anything runs).
+    Runs every experiment the scenario's family supports by default, or
+    just ``ids`` when given (unknown ids raise ``KeyError`` before
+    anything runs; ids outside the family's declared subset raise
+    :class:`UnsupportedExperimentError`).
     Yields :class:`ExperimentResult` as each experiment completes, so
     callers can render incrementally instead of waiting for the full
     sweep.  (Previously returned a fully materialized list of
@@ -260,11 +306,21 @@ def run_all(
     experiment runs, fanning independent stage builds (e.g. the
     constructed map and the traceroute campaign) out concurrently.
     """
-    selected = sorted(EXPERIMENTS) if ids is None else sorted(ids)
+    scenario = scenario if scenario is not None else us2015()
+    family = scenario.family
+    if ids is None:
+        selected = family.supported_experiments(EXPERIMENTS)
+    else:
+        selected = sorted(ids)
     for experiment_id in selected:
         if experiment_id not in EXPERIMENTS:
             raise KeyError(experiment_id)
-    scenario = scenario if scenario is not None else us2015()
+        if not family.supports(experiment_id):
+            raise UnsupportedExperimentError(
+                experiment_id,
+                family.name,
+                family.supported_experiments(EXPERIMENTS),
+            )
     if stage_workers > 1:
         needed = sorted(
             {s for i in selected for s in EXPERIMENTS[i].requires}

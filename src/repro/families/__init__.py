@@ -1,0 +1,33 @@
+"""Map-family registry: pluggable map universes behind one stage graph.
+
+Importing this package registers the built-in families — ``us2015``
+(the paper's US long-haul map, the default) and ``global2023`` (the
+submarine-cable extension).  ``repro.scenario`` resolves
+``ScenarioConfig.family`` through :func:`get_family`; this package must
+therefore never import ``repro.scenario``.
+"""
+
+from repro.families.base import (
+    DEFAULT_FAMILY,
+    MapFamily,
+    UnknownFamilyError,
+    family_names,
+    get_family,
+    register_family,
+)
+from repro.families.stages import STAGE_OF_ATTRIBUTE, build_stage_table
+from repro.families.us2015 import US2015
+from repro.families.global2023 import GLOBAL2023
+
+__all__ = [
+    "DEFAULT_FAMILY",
+    "MapFamily",
+    "UnknownFamilyError",
+    "family_names",
+    "get_family",
+    "register_family",
+    "build_stage_table",
+    "STAGE_OF_ATTRIBUTE",
+    "US2015",
+    "GLOBAL2023",
+]

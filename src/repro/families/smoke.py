@@ -1,0 +1,234 @@
+"""CI smoke test for the family registry: ``python -m repro.families.smoke``.
+
+Two checks, both against real end-to-end paths:
+
+1. **Global experiment subset** — builds a small ``global2023``
+   scenario and runs every experiment the family declares, through the
+   family-gated runner.  Any experiment that raises, or any declared id
+   the runner refuses, fails the job.  The gate itself is exercised
+   too: an undeclared (US-dataset-bound) experiment must raise
+   :class:`~repro.experiments.runner.UnsupportedExperimentError`.
+2. **Side-by-side serve** — boots the what-if service with one US and
+   one global scenario registered together, warms both, and issues
+   ``/v1/query`` risk and cut queries against each by name.  Responses
+   must be byte-identical to the CLI ``--json`` path (one canonical
+   encoder) and structurally sane for each family's geography.
+
+Scenarios are intentionally small so the whole job fits in CI time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Tuple
+
+#: Smoke scenario shapes: small but big enough for stable orderings.
+US_SEED = 2015
+GLOBAL_SEED = 2023
+TRACES = 600
+
+#: One severable submarine edge (a Malacca-approach chokepoint) and a
+#: cross-basin latency pair for the global query checks.
+GLOBAL_CUT = ("Penang, MY", "Singapore, SG")
+GLOBAL_LATENCY = ("Mumbai, IN", "Tokyo, JP")
+US_CUT = ("Phoenix, AZ", "Tucson, AZ")
+
+
+def _request(url: str, payload: Any = None) -> Tuple[int, bytes]:
+    req = urllib.request.Request(
+        url,
+        data=(
+            None if payload is None
+            else json.dumps(payload).encode("utf-8")
+        ),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        _fail(message)
+
+
+def _run_global_experiments(scenario) -> None:
+    from repro.experiments.runner import (
+        EXPERIMENTS,
+        UnsupportedExperimentError,
+        run_experiment,
+    )
+
+    family = scenario.family
+    supported = family.supported_experiments(EXPERIMENTS)
+    _check(bool(supported), f"{family.name} declares no experiments")
+    for experiment_id in supported:
+        result = run_experiment(experiment_id, scenario)
+        _check(
+            bool(result.text.strip()),
+            f"{experiment_id} produced empty text for {family.name}",
+        )
+        print(f"smoke: {family.name} {experiment_id} ok")
+    unsupported = sorted(set(EXPERIMENTS) - set(supported))
+    _check(
+        bool(unsupported),
+        f"{family.name} claims every experiment — gate untestable",
+    )
+    try:
+        run_experiment(unsupported[0], scenario)
+    except UnsupportedExperimentError as error:
+        _check(
+            error.family == family.name
+            and error.experiment_id == unsupported[0],
+            f"gate error carries wrong identity: {error}",
+        )
+    else:
+        _fail(f"{unsupported[0]} ran despite being undeclared")
+    print(
+        f"smoke: {family.name} subset ok "
+        f"({len(supported)} ran, {len(unsupported)} gated)"
+    )
+
+
+def _query(base: str, scenario, name: str, payload: Dict[str, Any]) -> Dict:
+    from repro.service.schema import encode_json, parse_request
+
+    payload = dict(payload, scenario=name)
+    status, body = _request(f"{base}/v1/query", payload)
+    _check(status == 200, f"{name} {payload['kind']}: HTTP {status}")
+    local = scenario.query(parse_request(payload))
+    expected = (encode_json(local.to_json()) + "\n").encode()
+    _check(
+        body == expected,
+        f"{name} {payload['kind']}: HTTP body differs from CLI --json",
+    )
+    return json.loads(body)
+
+
+def main() -> int:
+    from repro.scenario import ScenarioConfig, load_scenario
+    from repro.service.registry import ScenarioRegistry
+    from repro.service.server import ServiceApp, make_server
+
+    us = load_scenario(
+        config=ScenarioConfig(
+            seed=US_SEED, campaign_traces=TRACES, family="us2015"
+        )
+    )
+    global_ = load_scenario(
+        config=ScenarioConfig(
+            seed=GLOBAL_SEED, campaign_traces=TRACES, family="global2023"
+        )
+    )
+
+    _run_global_experiments(global_)
+
+    registry = ScenarioRegistry()
+    registry.add("us", scenario=us)
+    registry.add("global", scenario=global_)
+    app = ServiceApp(registry, tracer=None)
+    server = make_server(app, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"smoke: service on {base} (us + global)")
+
+    try:
+        registry.warm_all_async()
+        _check(registry.wait_ready(timeout=900), "warm-up did not finish")
+        status, _ = _request(f"{base}/healthz")
+        _check(status == 200, f"healthz after warm-up: {status} != 200")
+
+        us_risk = _query(base, us, "us", {"v": 1, "kind": "risk", "top": 3})
+        gl_risk = _query(
+            base, global_, "global", {"v": 1, "kind": "risk", "top": 3}
+        )
+        _check(
+            us_risk["num_isps"] > 0 and gl_risk["num_isps"] > 0,
+            "risk slices are empty",
+        )
+        _check(
+            us_risk["num_conduits"] != gl_risk["num_conduits"],
+            "us and global risk slices are identical — routing broken?",
+        )
+        us_top = {c["conduit_id"] for c in us_risk["top_conduits"]}
+        gl_top = {c["conduit_id"] for c in gl_risk["top_conduits"]}
+        print(
+            f"smoke: risk ok (us {us_risk['num_conduits']} conduits "
+            f"top {sorted(us_top)}; global {gl_risk['num_conduits']} "
+            f"conduits top {sorted(gl_top)})"
+        )
+
+        us_cut = _query(
+            base, us, "us",
+            {"v": 1, "kind": "cut", "city_a": US_CUT[0],
+             "city_b": US_CUT[1]},
+        )
+        gl_cut = _query(
+            base, global_, "global",
+            {"v": 1, "kind": "cut", "city_a": GLOBAL_CUT[0],
+             "city_b": GLOBAL_CUT[1]},
+        )
+        for label, cut in (("us", us_cut), ("global", gl_cut)):
+            _check(
+                cut["event"]["conduits_severed"] >= 1
+                and cut["impact"]["isps_affected"] >= 1,
+                f"{label} cut severed nothing: {cut['event']}",
+            )
+        print(
+            f"smoke: cut ok (us {us_cut['impact']['isps_affected']} ISPs, "
+            f"global {gl_cut['impact']['isps_affected']} ISPs affected)"
+        )
+
+        gl_lat = _query(
+            base, global_, "global",
+            {"v": 1, "kind": "latency", "city_a": GLOBAL_LATENCY[0],
+             "city_b": GLOBAL_LATENCY[1]},
+        )
+        _check(
+            gl_lat["reachable"] and gl_lat["delay_ms"] > 0,
+            f"global latency drifted: {gl_lat}",
+        )
+        print(
+            f"smoke: global latency ok ({GLOBAL_LATENCY[0]} -> "
+            f"{GLOBAL_LATENCY[1]}: {gl_lat['delay_ms']:.2f} ms, "
+            f"{gl_lat['hops']} hops)"
+        )
+
+        # A US city must not resolve in the global scenario: families
+        # keep distinct geographies even when served side by side.
+        status, body = _request(
+            f"{base}/v1/query",
+            {"v": 1, "kind": "latency", "scenario": "global",
+             "city_a": US_CUT[0], "city_b": US_CUT[1]},
+        )
+        error = json.loads(body)
+        _check(
+            status == 404 and error["error"]["code"] == "unknown_city",
+            f"cross-family city leak: HTTP {status}, {error}",
+        )
+        print("smoke: cross-family isolation ok")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    _check(not thread.is_alive(), "server thread did not stop")
+    print("smoke: clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""The family-generic stage table: the paper's dataflow, declared once.
+
+These builders were previously module-level in ``repro.scenario`` and
+hardwired to the US ground truth; they are now family-generic — the only
+stage that differs per family is ``ground_truth`` (each family's
+``synthesize``) and ``substrate`` (compiled over the family's declared
+right-of-way kind groups).  Everything in between (provider maps, the §2
+construction pipeline, topology, campaign, geolocation, overlay, risk
+matrix) consumes the :class:`~repro.fibermap.synthesis.GroundTruth`
+contract and runs unchanged on any family.
+
+:func:`build_stage_table` reproduces, for the default family, the exact
+pre-registry ``STAGES`` tuple — same names, dependency lists, seed
+offsets, persistence flags, cache parameters, and docs — so cache keys
+and goldens are byte-identical.  Non-default families qualify persisted
+stages' cache keys with the family name, keeping their artifacts from
+ever colliding with (or shadowing) the default family's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.engine import StageContext, StageDef
+from repro.families.base import DEFAULT_FAMILY, MapFamily, get_family
+from repro.fibermap.elements import FiberMap
+from repro.fibermap.pipeline import ConstructionReport, MapConstructionPipeline
+from repro.fibermap.publish import ProviderMap, publish_provider_maps
+from repro.fibermap.records import RecordsCorpus, generate_records
+from repro.fibermap.synthesis import GroundTruth
+from repro.perf.substrate import RoutingSubstrate, build_substrate
+from repro.risk.matrix import RiskMatrix
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.columns import TraceColumns
+from repro.traceroute.geolocate import GeolocationDatabase
+from repro.traceroute.overlay import TrafficOverlay
+from repro.traceroute.probe import ProbeEngine
+from repro.traceroute.topology import InternetTopology
+
+
+def _family_of(ctx: StageContext) -> MapFamily:
+    family = get_family(ctx.params.get("family", DEFAULT_FAMILY))
+    family.ensure_ready()
+    return family
+
+
+def _build_ground_truth(ctx: StageContext) -> GroundTruth:
+    return _family_of(ctx).synthesize(ctx.seed)
+
+
+def _build_provider_maps(ctx: StageContext) -> Dict[str, ProviderMap]:
+    return publish_provider_maps(ctx.dep("ground_truth"), seed=ctx.seed)
+
+
+def _build_records(ctx: StageContext) -> RecordsCorpus:
+    return generate_records(ctx.dep("ground_truth"), seed=ctx.seed)
+
+
+def _build_constructed_map(
+    ctx: StageContext,
+) -> Tuple[FiberMap, ConstructionReport]:
+    pipeline = MapConstructionPipeline(
+        ctx.dep("ground_truth"),
+        provider_maps=ctx.dep("provider_maps"),
+        corpus=ctx.dep("records"),
+    )
+    return pipeline.run()
+
+
+def _build_topology(ctx: StageContext) -> InternetTopology:
+    return InternetTopology(ctx.dep("ground_truth"), seed=ctx.seed)
+
+
+def _build_probe_engine(ctx: StageContext) -> ProbeEngine:
+    return ProbeEngine(ctx.dep("topology"), seed=ctx.seed)
+
+
+def _build_campaign(ctx: StageContext) -> TraceColumns:
+    family = _family_of(ctx)
+    overrides = {}
+    if family.client_isps is not None:
+        overrides["client_isps"] = family.client_isps
+    if family.dest_isps is not None:
+        overrides["dest_isps"] = family.dest_isps
+    config = CampaignConfig(
+        num_traces=ctx.params["traces"],
+        seed=ctx.seed,
+        workers=ctx.params["workers"],
+        **overrides,
+    )
+    return run_campaign(
+        ctx.dep("topology"), config, engine=ctx.dep("probe_engine")
+    )
+
+
+def _build_geolocation(ctx: StageContext) -> GeolocationDatabase:
+    return GeolocationDatabase(ctx.dep("topology"), seed=ctx.seed)
+
+
+def _build_overlay(ctx: StageContext) -> TrafficOverlay:
+    fiber_map, _ = ctx.dep("constructed_map")
+    overlay = TrafficOverlay(
+        fiber_map, ctx.dep("topology"), ctx.dep("geolocation")
+    )
+    overlay.add_traces(ctx.dep("campaign"))
+    return overlay
+
+
+def _build_risk_matrix(ctx: StageContext) -> RiskMatrix:
+    fiber_map, _ = ctx.dep("constructed_map")
+    return RiskMatrix(
+        fiber_map,
+        isps=[p.name for p in ctx.dep("ground_truth").profiles],
+    )
+
+
+def _build_substrate(ctx: StageContext) -> Optional[RoutingSubstrate]:
+    fiber_map, _ = ctx.dep("constructed_map")
+    return build_substrate(
+        fiber_map,
+        network=ctx.dep("ground_truth").network,
+        row_kinds=_family_of(ctx).row_kinds,
+    )
+
+
+#: Facade attribute -> backing stage.  Derived views (``network``,
+#: ``isps``, ``construction_report``) resolve to the stage whose value
+#: they project; the experiment runner uses this to enforce each
+#: experiment's declared ``requires``.  Identical for every family —
+#: families change what the stages *contain*, not what they are.
+STAGE_OF_ATTRIBUTE: Dict[str, str] = {
+    "ground_truth": "ground_truth",
+    "network": "ground_truth",
+    "isps": "ground_truth",
+    "provider_maps": "provider_maps",
+    "records": "records",
+    "constructed_map": "constructed_map",
+    "construction_report": "constructed_map",
+    "topology": "topology",
+    "probe_engine": "probe_engine",
+    "campaign": "campaign",
+    "geolocation": "geolocation",
+    "overlay": "overlay",
+    "risk_matrix": "risk_matrix",
+    "substrate": "substrate",
+}
+
+
+def build_stage_table(family: MapFamily) -> Tuple[StageDef, ...]:
+    """The declared dataflow of one scenario of *family*, in paper order.
+
+    Seed offsets are the historical per-stage derivations (previously
+    scattered as ``seed + 1`` ... ``seed + 6`` literals); for the default
+    family the cache keys are the historical ``(stage, params)`` pairs,
+    so a cache warmed before the family registry still serves.  Other
+    families prepend ``family`` to every persisted stage's cache key.
+    The campaign's worker count shards the build without changing its
+    records, so it stays out of the cache key everywhere.
+    """
+
+    def keyed(*params: str) -> Tuple[str, ...]:
+        if family.name == DEFAULT_FAMILY:
+            return params
+        return ("family",) + params
+
+    return (
+        StageDef(
+            "ground_truth", _build_ground_truth, seed_offset=0,
+            persist=True, cache_params=keyed("seed"),
+            doc="the synthesized world: actual conduits, tenancy, substrates",
+        ),
+        StageDef(
+            "provider_maps", _build_provider_maps,
+            deps=("ground_truth",), seed_offset=1,
+            doc="step-1 published provider maps",
+        ),
+        StageDef(
+            "records", _build_records,
+            deps=("ground_truth",), seed_offset=2,
+            doc="the public-records corpus (permits, filings)",
+        ),
+        StageDef(
+            "constructed_map", _build_constructed_map,
+            deps=("ground_truth", "provider_maps", "records"),
+            persist=True, cache_params=keyed("seed"),
+            doc="the §2 four-step constructed map (+ construction report)",
+        ),
+        StageDef(
+            "topology", _build_topology,
+            deps=("ground_truth",), seed_offset=3,
+            doc="router-level internet topology over the true world",
+        ),
+        StageDef(
+            "probe_engine", _build_probe_engine,
+            deps=("topology",), seed_offset=4,
+            doc="the traceroute simulator",
+        ),
+        StageDef(
+            "campaign", _build_campaign,
+            deps=("topology", "probe_engine"), seed_offset=5,
+            persist=True, cache_params=keyed("seed", "traces"),
+            doc="the §4.3 traceroute campaign (columnar record store)",
+        ),
+        StageDef(
+            "geolocation", _build_geolocation,
+            deps=("topology",), seed_offset=6,
+            doc="router-to-city geolocation database",
+        ),
+        StageDef(
+            "overlay", _build_overlay,
+            deps=("constructed_map", "topology", "geolocation", "campaign"),
+            persist=True, cache_params=keyed("seed", "traces"),
+            doc="the §4.3 traffic overlay on the constructed map",
+        ),
+        StageDef(
+            "risk_matrix", _build_risk_matrix,
+            deps=("constructed_map", "ground_truth"),
+            doc="the §4.1 ISP x conduit shared-risk matrix",
+        ),
+        StageDef(
+            "substrate", _build_substrate,
+            deps=("constructed_map", "ground_truth"),
+            persist=True, cache_params=keyed("seed"),
+            doc="the compiled §5/resilience routing substrate (CSR arrays)",
+        ),
+    )

@@ -144,6 +144,7 @@ def _pair_delays_reference(
     los_of: Dict[EdgeKey, float],
     max_paths: int,
     slack: float,
+    row_kinds: Tuple[str, ...],
 ) -> List[PairDelays]:
     """NetworkX reference: per-pair graph solves (and a per-call ROW
     subgraph rebuild inside ``row_shortest_path``)."""
@@ -162,7 +163,7 @@ def _pair_delays_reference(
             conduit_graph, a, b, best_km, max_paths, slack
         )
         try:
-            _, row_km = network.row_shortest_path(a, b, kinds=("road", "rail"))
+            _, row_km = network.row_shortest_path(a, b, kinds=row_kinds)
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             continue
         results.append(
@@ -184,15 +185,16 @@ def _pair_delays_substrate(
     los_of: Dict[EdgeKey, float],
     max_paths: int,
     slack: float,
+    row_kinds: Tuple[str, ...],
 ) -> List[PairDelays]:
     """Substrate fast path: best/ROW distances come from two batched
     Dijkstras (one per weight view, all sources at once) and the
     alternative-path means from the array-walk Yen enumeration."""
     conduit_view = substrate.conduits.conduit_view()
-    row_view = substrate.row_view(("road", "rail"))
+    row_view = substrate.row_view(row_kinds)
     if row_view is None:
-        substrate.attach_network(network)
-        row_view = substrate.row_view(("road", "rail"))
+        substrate.attach_network(network, row_kinds=(row_kinds,))
+        row_view = substrate.row_view(row_kinds)
     import numpy as np
 
     sources = [a for a, _ in ordered]
@@ -240,6 +242,7 @@ def latency_study(
     slack: float = DEFAULT_SLACK,
     seed: int = 97,
     substrate=None,
+    row_kinds: Tuple[str, ...] = ("road", "rail"),
 ) -> LatencyStudy:
     """Build the Figure 12 dataset.
 
@@ -248,8 +251,14 @@ def latency_study(
     connects.  ``max_pairs`` caps the sample (deterministically) to keep
     the k-shortest-path enumeration tractable.  Each pair's LOS distance
     is computed once, in the band filter, and reused for the result.
+    ``row_kinds`` names the right-of-way kinds a new conduit could follow
+    (the map family's deployable media; the paper's roads and railways by
+    default).
     """
-    resolved = resolve_substrate(fiber_map, substrate, network=network)
+    row_kinds = tuple(row_kinds)
+    resolved = resolve_substrate(
+        fiber_map, substrate, network=network, row_kinds=(row_kinds,)
+    )
     los_of: Dict[EdgeKey, float] = {}
     pairs: Set[EdgeKey] = set()
     for link in fiber_map.links.values():
@@ -269,10 +278,10 @@ def latency_study(
         ordered = sorted(rng.sample(ordered, max_pairs))
     if resolved is None:
         results = _pair_delays_reference(
-            fiber_map, network, ordered, los_of, max_paths, slack
+            fiber_map, network, ordered, los_of, max_paths, slack, row_kinds
         )
     else:
         results = _pair_delays_substrate(
-            resolved, network, ordered, los_of, max_paths, slack
+            resolved, network, ordered, los_of, max_paths, slack, row_kinds
         )
     return LatencyStudy(pairs=tuple(results))

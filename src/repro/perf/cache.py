@@ -34,6 +34,10 @@ actually sees:
   ``store`` are reported by ``info``, removed by ``clear``, and swept
   by ``sweep_orphans`` / ``prune`` once they are old enough to be
   provably dead.
+* **Stale lock files** — single-flight build locks under
+  ``<root>/locks/`` accumulate across code versions; ``clear`` and
+  ``prune`` sweep the ones no process holds (a non-blocking ``flock``
+  probe distinguishes dead locks from in-flight builds).
 * **Unbounded growth** — ``prune(max_bytes)`` evicts least-recently
   used entries (fetch hits refresh an entry's mtime) until the root
   fits the budget.
@@ -112,6 +116,7 @@ class PruneResult:
     quarantine_removed: int
     bytes_freed: int
     bytes_remaining: int
+    locks_swept: int = 0
 
 
 #: Age beyond which a ``*.tmp`` file cannot belong to an in-flight
@@ -120,6 +125,9 @@ ORPHAN_TMP_AGE_S = 3600.0
 
 #: Subdirectory corrupt entries are moved into on a failed ``fetch``.
 QUARANTINE_DIR = "quarantine"
+
+#: Subdirectory holding single-flight build-lock files.
+LOCKS_DIR = "locks"
 
 
 class ArtifactCache:
@@ -187,7 +195,9 @@ class ArtifactCache:
             yield False
             return
         lock_path = (
-            self.root / "locks" / (self._path_for(stage, params).stem + ".lock")
+            self.root
+            / LOCKS_DIR
+            / (self._path_for(stage, params).stem + ".lock")
         )
         lock_path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(lock_path, os.O_CREAT | os.O_RDWR)
@@ -371,6 +381,53 @@ class ArtifactCache:
             return []
         return sorted(p for p in quarantine.iterdir() if p.is_file())
 
+    def lock_files(self) -> List[Path]:
+        """Single-flight lock files under ``<root>/locks/``.
+
+        Lock files outlive their build (``single_flight`` never unlinks
+        — a racing process may hold an fd to the same path), so over
+        many code versions the directory accretes dead entries; the
+        sweepers below reclaim them.
+        """
+        locks = self.root / LOCKS_DIR
+        if not locks.is_dir():
+            return []
+        return sorted(locks.glob("*.lock"))
+
+    def sweep_stale_locks(self, max_age_s: float = 0.0) -> int:
+        """Delete single-flight lock files no process currently holds.
+
+        Each candidate older than *max_age_s* is probed with a
+        non-blocking ``flock``: a held lock (an in-flight build) fails
+        the probe and is skipped, an acquirable one is provably unheld
+        and unlinked.  The unlink-after-probe ordering means a process
+        racing to open the same path can at worst recreate the file —
+        never lose a held lock.  Without ``fcntl`` there is no probe
+        (or any locks to begin with) and the sweep is age-only.
+        """
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for path in self.lock_files():
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                if HAVE_FCNTL:
+                    fd = os.open(path, os.O_RDWR)
+                    try:
+                        try:
+                            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        except OSError:
+                            continue  # held: a build is in flight
+                        path.unlink()  # while holding — can't race a holder
+                    finally:
+                        os.close(fd)
+                else:
+                    path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def sweep_orphans(self, max_age_s: float = ORPHAN_TMP_AGE_S) -> int:
         """Delete orphaned ``*.tmp`` files older than *max_age_s*.
 
@@ -406,8 +463,9 @@ class ArtifactCache:
         entries = self.entries()
         orphans = self.orphan_tmp_files()
         quarantined = self.quarantined_files()
+        locks = self.lock_files()
         lines = [f"cache root: {self.root}"]
-        if not entries and not orphans and not quarantined:
+        if not entries and not orphans and not quarantined and not locks:
             lines.append("empty")
             return "\n".join(lines)
         total = sum(e.size_bytes for e in entries)
@@ -437,11 +495,21 @@ class ArtifactCache:
                 f"quarantined corrupt entries: {len(quarantined)} "
                 f"({size / 1e6:.2f} MB)"
             )
+        if locks:
+            lines.append(
+                f"single-flight lock files: {len(locks)} — stale ones "
+                f"are swept by `cache clear` / `cache prune`"
+            )
         return "\n".join(lines)
 
     def clear(self) -> int:
-        """Delete every stored artifact, orphaned temp file, and
-        quarantined entry; returns how many files were removed."""
+        """Delete every stored artifact, orphaned temp file, quarantined
+        entry, and unheld lock file; returns how many files went.
+
+        Lock files get the unconditional (age-zero) sweep: anything a
+        live build still holds survives, everything else goes with the
+        entries it guarded.
+        """
         removed = 0
         with self._lock():
             targets = (
@@ -455,6 +523,7 @@ class ArtifactCache:
                     removed += 1
                 except OSError:
                     pass
+            removed += self.sweep_stale_locks(0.0)
         return removed
 
     def prune(
@@ -464,10 +533,13 @@ class ArtifactCache:
     ) -> PruneResult:
         """Bound the cache: sweep dead files, then evict LRU entries.
 
-        Quarantined entries (already useless) and stale orphans go
-        first; live entries are then evicted oldest-mtime-first until
-        the root fits *max_bytes* (``None`` bounds nothing and only
-        sweeps).  Returns a :class:`PruneResult` accounting.
+        Quarantined entries (already useless), stale orphans, and
+        stale single-flight lock files go first; live entries are then
+        evicted oldest-mtime-first until the root fits *max_bytes*
+        (``None`` bounds nothing and only sweeps).  Lock files share
+        the orphan age gate and are additionally probed for holders,
+        so an in-flight build's lock is never touched.  Returns a
+        :class:`PruneResult` accounting.
         """
         from repro.obs.tracer import get_tracer
 
@@ -491,6 +563,7 @@ class ArtifactCache:
                         freed += stat.st_size
                 except OSError:
                     continue
+            locks_swept = self.sweep_stale_locks(orphan_age_s)
             evicted = 0
             entries = self.entries()
             remaining = sum(e.size_bytes for e in entries)
@@ -512,10 +585,11 @@ class ArtifactCache:
             quarantine_removed=quarantine_removed,
             bytes_freed=freed,
             bytes_remaining=remaining,
+            locks_swept=locks_swept,
         )
         get_tracer().event(
             "cache.prune", evicted=evicted, orphans=orphans_swept,
-            quarantine=quarantine_removed, freed=freed,
+            quarantine=quarantine_removed, locks=locks_swept, freed=freed,
         )
         return result
 

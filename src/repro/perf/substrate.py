@@ -663,18 +663,29 @@ class RoutingSubstrate:
     """
 
     #: Kind sets pre-compiled when a network is attached (§5.3 uses
-    #: "new conduit along existing roads or railways").
+    #: "new conduit along existing roads or railways").  Map families
+    #: with other media (submarine cables) override per instance via
+    #: ``row_kinds``.
     DEFAULT_ROW_KINDS: Tuple[Tuple[str, ...], ...] = (("road", "rail"),)
 
-    def __init__(self, fiber_map, network=None):
+    def __init__(self, fiber_map, network=None, row_kinds=None):
         self.conduits = ConduitSubstrate(fiber_map)
+        self.row_kinds: Tuple[Tuple[str, ...], ...] = (
+            tuple(tuple(k) for k in row_kinds)
+            if row_kinds is not None
+            else self.DEFAULT_ROW_KINDS
+        )
         self._row_views: Dict[FrozenSet[str], GraphView] = {}
         if network is not None:
             self.attach_network(network)
 
-    def attach_network(self, network) -> None:
-        """Compile right-of-way views for the default kind sets."""
-        for kinds in self.DEFAULT_ROW_KINDS:
+    def attach_network(self, network, row_kinds=None) -> None:
+        """Compile right-of-way views for the instance's kind sets (plus
+        any extra *row_kinds* requested); already-compiled sets are kept."""
+        wanted = list(self.row_kinds)
+        if row_kinds is not None:
+            wanted.extend(tuple(k) for k in row_kinds)
+        for kinds in wanted:
             key = frozenset(kinds)
             if key not in self._row_views:
                 self._row_views[key] = compile_transport_view(network, kinds)
@@ -688,12 +699,16 @@ class RoutingSubstrate:
         return bool(self._row_views)
 
 
-def build_substrate(fiber_map, network=None) -> Optional[RoutingSubstrate]:
+def build_substrate(
+    fiber_map, network=None, row_kinds=None
+) -> Optional[RoutingSubstrate]:
     """A :class:`RoutingSubstrate` over *fiber_map*, or ``None`` without
-    scipy (callers then take their NetworkX reference path)."""
+    scipy (callers then take their NetworkX reference path).  *row_kinds*
+    selects which right-of-way kind sets are compiled on attach (default:
+    the US family's road/rail)."""
     if not HAVE_SCIPY:
         return None
-    return RoutingSubstrate(fiber_map, network=network)
+    return RoutingSubstrate(fiber_map, network=network, row_kinds=row_kinds)
 
 
 #: One substrate per live fiber map: analyses that are handed a bare
@@ -702,25 +717,38 @@ def build_substrate(fiber_map, network=None) -> Optional[RoutingSubstrate]:
 _SUBSTRATES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
-def substrate_for(fiber_map, network=None) -> Optional[RoutingSubstrate]:
+def substrate_for(
+    fiber_map, network=None, row_kinds=None
+) -> Optional[RoutingSubstrate]:
     """The memoized substrate for a fiber map (``None`` without scipy).
 
-    If a cached substrate lacks transport views and a network is now
-    available, the views are compiled and attached in place.
+    If a cached substrate lacks transport views for the requested kind
+    sets and a network is now available, the missing views are compiled
+    and attached in place.
     """
     if not HAVE_SCIPY:
         return None
     substrate = _SUBSTRATES.get(fiber_map)
     if substrate is None:
-        substrate = RoutingSubstrate(fiber_map, network=network)
+        substrate = RoutingSubstrate(
+            fiber_map, network=network, row_kinds=row_kinds
+        )
         _SUBSTRATES[fiber_map] = substrate
-    elif network is not None and not substrate.has_row_views:
-        substrate.attach_network(network)
+    elif network is not None and (
+        not substrate.has_row_views
+        or (
+            row_kinds is not None
+            and any(
+                substrate.row_view(kinds) is None for kinds in row_kinds
+            )
+        )
+    ):
+        substrate.attach_network(network, row_kinds=row_kinds)
     return substrate
 
 
 def resolve_substrate(
-    fiber_map, substrate, network=None
+    fiber_map, substrate, network=None, row_kinds=None
 ) -> Optional[RoutingSubstrate]:
     """The substrate a §5/resilience entry point should use.
 
@@ -729,7 +757,7 @@ def resolve_substrate(
     parity suite); an explicit instance is passed through.
     """
     if substrate is None:
-        return substrate_for(fiber_map, network=network)
+        return substrate_for(fiber_map, network=network, row_kinds=row_kinds)
     if substrate is False:
         return None
     return substrate

@@ -1,4 +1,4 @@
-"""The canonical **US2015** scenario: everything wired together.
+"""Scenarios: a map family, a seed, and everything wired together.
 
 One object exposes (lazily, with caching) every artifact the paper's
 analyses need: the ground-truth world, the published maps and records,
@@ -11,9 +11,9 @@ derive deterministically from the scenario seed.
     >>> scenario.constructed_map.stats()
     MapStats(...)
 
-Since PR 4 the dataflow itself is declarative: :data:`STAGES` is a
-table of :class:`repro.engine.StageDef` nodes — each naming its
-dependencies, derived-seed offset, and cache policy — and a
+Since PR 4 the dataflow itself is declarative: a table of
+:class:`repro.engine.StageDef` nodes — each naming its dependencies,
+derived-seed offset, and cache policy — and a
 :class:`repro.engine.StageGraph` owns all execution policy
 (memoization, artifact-cache fetch/store with degraded-store recovery,
 tracer spans, thread fan-out).  ``Scenario`` is a thin facade over
@@ -21,6 +21,14 @@ that graph: the public properties below are unchanged, and
 ``scenario.graph`` exposes the engine for inspection
 (``python -m repro graph show``), targeted cache eviction
 (``graph invalidate``), and concurrent stage materialization.
+
+The stage table is produced per **map family**
+(:mod:`repro.families`): ``ScenarioConfig.family`` selects which map
+universe the stages build — ``"us2015"`` (the paper's US long-haul
+map, the default) or any other registered family (``"global2023"``,
+the submarine-cable extension).  :func:`us2015` remains the canonical
+spelling of the default scenario; :func:`load_scenario` is the
+family-generic equivalent.
 
 Configuration lives in one frozen :class:`ScenarioConfig` value
 (``Scenario(config=...)`` / ``us2015(config=...)``); the individual
@@ -34,21 +42,26 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple
 
-from repro.engine import StageContext, StageDef, StageGraph
+from repro.engine import StageDef, StageGraph
+from repro.families import (
+    DEFAULT_FAMILY,
+    MapFamily,
+    get_family,
+)
+from repro.families.stages import STAGE_OF_ATTRIBUTE  # noqa: F401 (compat re-export)
 from repro.fibermap.elements import FiberMap
-from repro.fibermap.pipeline import ConstructionReport, MapConstructionPipeline
-from repro.fibermap.publish import ProviderMap, publish_provider_maps
-from repro.fibermap.records import RecordsCorpus, generate_records
-from repro.fibermap.synthesis import GroundTruth, synthesize_ground_truth
+from repro.fibermap.pipeline import ConstructionReport
+from repro.fibermap.publish import ProviderMap
+from repro.fibermap.records import RecordsCorpus
+from repro.fibermap.synthesis import GroundTruth
 from repro.perf.cache import (
     CacheLike,
     describe_cache_setting,
     normalize_cache_setting,
     resolve_cache,
 )
-from repro.perf.substrate import RoutingSubstrate, build_substrate
+from repro.perf.substrate import RoutingSubstrate
 from repro.risk.matrix import RiskMatrix
-from repro.traceroute.campaign import CampaignConfig, run_campaign
 from repro.traceroute.columns import TraceColumns
 from repro.traceroute.geolocate import GeolocationDatabase
 from repro.traceroute.overlay import TrafficOverlay
@@ -67,22 +80,26 @@ DEFAULT_CAMPAIGN_TRACES = 20000
 class ScenarioConfig:
     """Immutable configuration of one scenario.
 
-    Consolidates the four knobs previously threaded as separate keyword
+    Consolidates the knobs previously threaded as separate keyword
     arguments.  *cache* is canonicalized on construction (see
     :func:`repro.perf.cache.normalize_cache_setting`) so ``Path``,
     ``str``, and ``True`` spellings of the same cache root compare (and
-    hash) equal — and therefore share one ``us2015`` memoization slot.
+    hash) equal — and therefore share one memoization slot.  *family*
+    names a registered map family (validated on construction; see
+    :mod:`repro.families`).
     """
 
     seed: int = 2015
     campaign_traces: int = DEFAULT_CAMPAIGN_TRACES
     workers: int = 1
     cache: CacheLike = field(default=None)
+    family: str = DEFAULT_FAMILY
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "cache", normalize_cache_setting(self.cache)
         )
+        get_family(self.family)  # fail fast on unknown families
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (embedded in run manifests and BENCH records)."""
@@ -91,185 +108,36 @@ class ScenarioConfig:
             "campaign_traces": self.campaign_traces,
             "workers": self.workers,
             "cache": describe_cache_setting(self.cache),
+            "family": self.family,
         }
 
 
-# ----------------------------------------------------------------------
-# The stage table: the paper's dataflow, declared.
-#
-# Seed offsets are the historical per-stage derivations (previously
-# scattered as ``seed + 1`` ... ``seed + 6`` literals); cache keys are
-# the historical ``(stage, params)`` pairs, so a cache warmed before
-# this refactor still serves.  The campaign's worker count shards the
-# build without changing its records, so it stays out of the cache key.
-
-
-def _build_ground_truth(ctx: StageContext) -> GroundTruth:
-    return synthesize_ground_truth(ctx.seed)
-
-
-def _build_provider_maps(ctx: StageContext) -> Dict[str, ProviderMap]:
-    return publish_provider_maps(ctx.dep("ground_truth"), seed=ctx.seed)
-
-
-def _build_records(ctx: StageContext) -> RecordsCorpus:
-    return generate_records(ctx.dep("ground_truth"), seed=ctx.seed)
-
-
-def _build_constructed_map(
-    ctx: StageContext,
-) -> Tuple[FiberMap, ConstructionReport]:
-    pipeline = MapConstructionPipeline(
-        ctx.dep("ground_truth"),
-        provider_maps=ctx.dep("provider_maps"),
-        corpus=ctx.dep("records"),
-    )
-    return pipeline.run()
-
-
-def _build_topology(ctx: StageContext) -> InternetTopology:
-    return InternetTopology(ctx.dep("ground_truth"), seed=ctx.seed)
-
-
-def _build_probe_engine(ctx: StageContext) -> ProbeEngine:
-    return ProbeEngine(ctx.dep("topology"), seed=ctx.seed)
-
-
-def _build_campaign(ctx: StageContext) -> TraceColumns:
-    config = CampaignConfig(
-        num_traces=ctx.params["traces"],
-        seed=ctx.seed,
-        workers=ctx.params["workers"],
-    )
-    return run_campaign(
-        ctx.dep("topology"), config, engine=ctx.dep("probe_engine")
-    )
-
-
-def _build_geolocation(ctx: StageContext) -> GeolocationDatabase:
-    return GeolocationDatabase(ctx.dep("topology"), seed=ctx.seed)
-
-
-def _build_overlay(ctx: StageContext) -> TrafficOverlay:
-    fiber_map, _ = ctx.dep("constructed_map")
-    overlay = TrafficOverlay(
-        fiber_map, ctx.dep("topology"), ctx.dep("geolocation")
-    )
-    overlay.add_traces(ctx.dep("campaign"))
-    return overlay
-
-
-def _build_risk_matrix(ctx: StageContext) -> RiskMatrix:
-    fiber_map, _ = ctx.dep("constructed_map")
-    return RiskMatrix(
-        fiber_map,
-        isps=[p.name for p in ctx.dep("ground_truth").profiles],
-    )
-
-
-def _build_substrate(ctx: StageContext) -> Optional[RoutingSubstrate]:
-    fiber_map, _ = ctx.dep("constructed_map")
-    return build_substrate(
-        fiber_map, network=ctx.dep("ground_truth").network
-    )
-
-
-#: The declared dataflow of one scenario, in paper order.
-STAGES: Tuple[StageDef, ...] = (
-    StageDef(
-        "ground_truth", _build_ground_truth, seed_offset=0,
-        persist=True, cache_params=("seed",),
-        doc="the synthesized world: actual conduits, tenancy, substrates",
-    ),
-    StageDef(
-        "provider_maps", _build_provider_maps,
-        deps=("ground_truth",), seed_offset=1,
-        doc="step-1 published provider maps",
-    ),
-    StageDef(
-        "records", _build_records,
-        deps=("ground_truth",), seed_offset=2,
-        doc="the public-records corpus (permits, filings)",
-    ),
-    StageDef(
-        "constructed_map", _build_constructed_map,
-        deps=("ground_truth", "provider_maps", "records"),
-        persist=True, cache_params=("seed",),
-        doc="the §2 four-step constructed map (+ construction report)",
-    ),
-    StageDef(
-        "topology", _build_topology,
-        deps=("ground_truth",), seed_offset=3,
-        doc="router-level internet topology over the true world",
-    ),
-    StageDef(
-        "probe_engine", _build_probe_engine,
-        deps=("topology",), seed_offset=4,
-        doc="the traceroute simulator",
-    ),
-    StageDef(
-        "campaign", _build_campaign,
-        deps=("topology", "probe_engine"), seed_offset=5,
-        persist=True, cache_params=("seed", "traces"),
-        doc="the §4.3 traceroute campaign (columnar record store)",
-    ),
-    StageDef(
-        "geolocation", _build_geolocation,
-        deps=("topology",), seed_offset=6,
-        doc="router-to-city geolocation database",
-    ),
-    StageDef(
-        "overlay", _build_overlay,
-        deps=("constructed_map", "topology", "geolocation", "campaign"),
-        persist=True, cache_params=("seed", "traces"),
-        doc="the §4.3 traffic overlay on the constructed map",
-    ),
-    StageDef(
-        "risk_matrix", _build_risk_matrix,
-        deps=("constructed_map", "ground_truth"),
-        doc="the §4.1 ISP x conduit shared-risk matrix",
-    ),
-    StageDef(
-        "substrate", _build_substrate,
-        deps=("constructed_map", "ground_truth"),
-        persist=True, cache_params=("seed",),
-        doc="the compiled §5/resilience routing substrate (CSR arrays)",
-    ),
-)
-
-#: Facade attribute -> backing stage.  Derived views (``network``,
-#: ``isps``, ``construction_report``) resolve to the stage whose value
-#: they project; the experiment runner uses this to enforce each
-#: experiment's declared ``requires``.
-STAGE_OF_ATTRIBUTE: Dict[str, str] = {
-    "ground_truth": "ground_truth",
-    "network": "ground_truth",
-    "isps": "ground_truth",
-    "provider_maps": "provider_maps",
-    "records": "records",
-    "constructed_map": "constructed_map",
-    "construction_report": "constructed_map",
-    "topology": "topology",
-    "probe_engine": "probe_engine",
-    "campaign": "campaign",
-    "geolocation": "geolocation",
-    "overlay": "overlay",
-    "risk_matrix": "risk_matrix",
-    "substrate": "substrate",
-}
+#: The default family's stage table, as a module-level tuple for
+#: compatibility (the experiment runner and engine tests consume it).
+#: Family-aware callers should use ``get_family(name).stage_table()``.
+STAGES: Tuple[StageDef, ...] = get_family(DEFAULT_FAMILY).stage_table()
 
 
 def build_stage_graph(
     config: ScenarioConfig, cache: Any = None
 ) -> StageGraph:
-    """A fresh :class:`StageGraph` wired for *config*."""
+    """A fresh :class:`StageGraph` wired for *config*'s family.
+
+    The ``family`` graph parameter reaches the family-generic stage
+    builders; for the default family it is **not** part of any cache
+    key (preserving pre-registry keys), while other families' persisted
+    stages are keyed on it.
+    """
+    family = get_family(config.family)
+    family.ensure_ready()
     return StageGraph(
-        STAGES,
+        family.stage_table(),
         base_seed=config.seed,
         params={
             "seed": config.seed,
             "traces": config.campaign_traces,
             "workers": config.workers,
+            "family": config.family,
         },
         cache=cache,
         span_prefix="scenario",
@@ -280,10 +148,10 @@ class Scenario:
     """A fully wired reproduction scenario.
 
     A thin facade over a :class:`repro.engine.StageGraph` built from
-    :data:`STAGES`: every property materializes its backing stage on
-    first access (memoized by the graph), and all randomness derives
-    from ``config.seed`` via each stage's declared offset, so two
-    scenarios with the same configuration are identical.
+    the configured family's stage table: every property materializes
+    its backing stage on first access (memoized by the graph), and all
+    randomness derives from ``config.seed`` via each stage's declared
+    offset, so two scenarios with the same configuration are identical.
 
     Pass a :class:`ScenarioConfig` (preferred), or the legacy
     ``seed``/``campaign_traces``/``workers``/``cache`` keywords — both
@@ -294,8 +162,8 @@ class Scenario:
     environment (off by default), ``True``/``False`` force it, a path
     selects a specific cache root.  Persisted stages (ground truth,
     constructed map, campaign, overlay) are keyed by seed, campaign
-    size, and a hash of the package source, so a warm cache can never
-    serve stale artifacts.
+    size, family (for non-default families), and a hash of the package
+    source, so a warm cache can never serve stale artifacts.
     """
 
     def __init__(
@@ -305,6 +173,7 @@ class Scenario:
         workers: int = 1,
         cache: CacheLike = None,
         config: Optional[ScenarioConfig] = None,
+        family: str = DEFAULT_FAMILY,
     ):
         if config is None:
             config = ScenarioConfig(
@@ -312,6 +181,7 @@ class Scenario:
                 campaign_traces=campaign_traces,
                 workers=workers,
                 cache=cache,
+                family=family,
             )
         self.config = config
         self.cache = resolve_cache(config.cache)
@@ -329,6 +199,11 @@ class Scenario:
     @property
     def workers(self) -> int:
         return self.config.workers
+
+    @property
+    def family(self) -> MapFamily:
+        """The scenario's map-family declaration."""
+        return get_family(self.config.family)
 
     # ------------------------------------------------------------------
     def peek(self, stage: str) -> Any:
@@ -397,7 +272,7 @@ class Scenario:
 
     @property
     def risk_matrix(self) -> RiskMatrix:
-        """The §4.1 risk matrix over the 20 studied providers."""
+        """The §4.1 risk matrix over the scenario's providers."""
         return self.graph.materialize("risk_matrix")
 
     @property
@@ -434,9 +309,37 @@ class Scenario:
         return handle_query(self, request)
 
 
-@lru_cache(maxsize=4)
-def _us2015_for_config(config: ScenarioConfig) -> Scenario:
+@lru_cache(maxsize=8)
+def _scenario_for_config(config: ScenarioConfig) -> Scenario:
     return Scenario(config=config)
+
+
+def load_scenario(
+    family: str = DEFAULT_FAMILY,
+    seed: Optional[int] = None,
+    campaign_traces: int = DEFAULT_CAMPAIGN_TRACES,
+    workers: int = 1,
+    cache: CacheLike = None,
+    config: Optional[ScenarioConfig] = None,
+) -> Scenario:
+    """The memoized scenario of any registered family.
+
+    ``seed`` defaults to the family's declared ``default_seed``.
+    Memoization is keyed on the normalized :class:`ScenarioConfig`, so
+    equivalent spellings (legacy keywords vs an explicit config,
+    ``Path`` vs ``str`` vs ``True`` cache settings) share one instance,
+    and scenarios of different families coexist in the cache.
+    """
+    if config is None:
+        declared = get_family(family)
+        config = ScenarioConfig(
+            seed=declared.default_seed if seed is None else seed,
+            campaign_traces=campaign_traces,
+            workers=workers,
+            cache=cache,
+            family=family,
+        )
+    return _scenario_for_config(config)
 
 
 def us2015(
@@ -446,11 +349,11 @@ def us2015(
     cache: CacheLike = None,
     config: Optional[ScenarioConfig] = None,
 ) -> Scenario:
-    """The canonical scenario, cached so experiments share one instance.
+    """The canonical US scenario, cached so experiments share one instance.
 
-    Memoization is keyed on the normalized :class:`ScenarioConfig`, so
-    equivalent spellings (legacy keywords vs an explicit config, ``Path``
-    vs ``str`` vs ``True`` cache settings) all share one instance.
+    A thin alias of :func:`load_scenario` pinned to the default family
+    (rejecting configs of any other family, so a mislabeled call cannot
+    silently serve the wrong map).
     """
     if config is None:
         config = ScenarioConfig(
@@ -458,9 +361,17 @@ def us2015(
             campaign_traces=campaign_traces,
             workers=workers,
             cache=cache,
+            family=DEFAULT_FAMILY,
         )
-    return _us2015_for_config(config)
+    elif config.family != DEFAULT_FAMILY:
+        raise ValueError(
+            f"us2015() serves only the {DEFAULT_FAMILY!r} family "
+            f"(got {config.family!r}); use load_scenario()"
+        )
+    return _scenario_for_config(config)
 
 
-#: Exposed for tests that need to drop the memoized scenarios.
-us2015.cache_clear = _us2015_for_config.cache_clear  # type: ignore[attr-defined]
+#: Exposed for tests that need to drop the memoized scenarios.  Both
+#: entry points share one memo table, so either clear empties both.
+load_scenario.cache_clear = _scenario_for_config.cache_clear  # type: ignore[attr-defined]
+us2015.cache_clear = _scenario_for_config.cache_clear  # type: ignore[attr-defined]

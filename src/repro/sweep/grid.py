@@ -7,12 +7,15 @@ scenario and optimizer parameters.  Axes arrive as ``KEY=SPEC`` strings
 * ``seed=2015..2024`` — inclusive integer range
 * ``seed=2015,2019,2023`` — explicit list
 * ``driver=greedy,anneal`` — optimizer drivers (aliases resolve)
+* ``family=us2015,global2023`` — map families (registry-validated)
 * ``traces=2000`` / ``max_k=4`` / ``driver_seed=0..2`` — scalars/ranges
 
 Expansion is deterministic: axes iterate in canonical order and cells
 come out in row-major cartesian order, so the same grid spec always
 produces the same cell sequence (and therefore the same sweep manifest
-shape).
+shape).  Unknown axis names raise :class:`UnknownAxisError` from both
+the parser and the expander — a typo'd axis can never silently produce
+an empty or misconfigured grid.
 """
 
 from __future__ import annotations
@@ -21,16 +24,34 @@ import itertools
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro.families import DEFAULT_FAMILY, get_family
 from repro.mitigation.drivers import canonical_driver
 
-#: Canonical axis order — also the cartesian expansion order.
-AXIS_ORDER = ("seed", "traces", "max_k", "driver", "driver_seed")
+#: Canonical axis order — also the cartesian expansion order.  ``family``
+#: sits last so pre-registry grids keep their historical cell order.
+AXIS_ORDER = ("seed", "traces", "max_k", "driver", "driver_seed", "family")
 
 _INT_AXES = frozenset({"seed", "traces", "max_k", "driver_seed"})
 
 #: Default campaign size per cell: big enough for a stable risk matrix,
 #: small enough that a cell is dominated by map construction.
 DEFAULT_CELL_TRACES = 2000
+
+
+class UnknownAxisError(ValueError):
+    """A sweep axis name outside :data:`AXIS_ORDER`.
+
+    Carries the offending name (``.axis``) and the valid names
+    (``.valid_axes``) so frontends can render a structured error.
+    """
+
+    def __init__(self, axis: str):
+        self.axis = axis
+        self.valid_axes = AXIS_ORDER
+        super().__init__(
+            f"unknown sweep axis {axis!r} (valid axes: "
+            f"{', '.join(AXIS_ORDER)})"
+        )
 
 
 @dataclass(frozen=True)
@@ -42,11 +63,13 @@ class SweepCell:
     max_k: int = 4
     driver: str = "greedy"
     driver_seed: int = 0
+    family: str = DEFAULT_FAMILY
 
     @property
     def label(self) -> str:
+        prefix = "" if self.family == DEFAULT_FAMILY else f"{self.family} "
         return (
-            f"seed={self.seed} driver={self.driver}"
+            f"{prefix}seed={self.seed} driver={self.driver}"
             f"/{self.driver_seed} traces={self.traces} k={self.max_k}"
         )
 
@@ -80,6 +103,9 @@ def _parse_values(key: str, spec: str) -> List[Any]:
             ) from None
     if key == "driver":
         return [canonical_driver(p) for p in parts]
+    if key == "family":
+        # Registry lookup raises UnknownFamilyError on a bad name.
+        return [get_family(p).name for p in parts]
     raise AssertionError(key)  # pragma: no cover - guarded by caller
 
 
@@ -96,8 +122,7 @@ def parse_grid(specs: Sequence[str]) -> Dict[str, List[Any]]:
         if not sep:
             raise ValueError(f"sweep axis must be KEY=SPEC, got {spec!r}")
         if key not in AXIS_ORDER:
-            known = ", ".join(AXIS_ORDER)
-            raise ValueError(f"unknown sweep axis {key!r} (known: {known})")
+            raise UnknownAxisError(key)
         values = _parse_values(key, value)
         deduped = list(dict.fromkeys(values))
         axes[key] = deduped
@@ -106,7 +131,12 @@ def parse_grid(specs: Sequence[str]) -> Dict[str, List[Any]]:
 
 def expand_grid(axes: Dict[str, List[Any]]) -> List[SweepCell]:
     """Cartesian expansion of *axes* into cells, row-major in
-    :data:`AXIS_ORDER`.  ``seed`` is the only required axis."""
+    :data:`AXIS_ORDER`.  ``seed`` is the only required axis; axis names
+    outside :data:`AXIS_ORDER` raise :class:`UnknownAxisError` (they
+    previously vanished silently from the expansion)."""
+    unknown = sorted(set(axes) - set(AXIS_ORDER))
+    if unknown:
+        raise UnknownAxisError(unknown[0])
     if "seed" not in axes or not axes["seed"]:
         raise ValueError("a sweep grid needs at least one seed")
     ordered: List[Tuple[str, List[Any]]] = [

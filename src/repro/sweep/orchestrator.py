@@ -108,6 +108,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         with tracing(local):
             with local.span(
                 "sweep.cell",
+                family=cell.family,
                 seed=cell.seed,
                 driver=cell.driver,
                 driver_seed=cell.driver_seed,
@@ -118,6 +119,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                         campaign_traces=cell.traces,
                         workers=1,
                         cache=payload.get("cache"),
+                        family=cell.family,
                     )
                 )
                 result["metrics"] = _cell_metrics(
@@ -214,6 +216,7 @@ class SweepResult:
             tracer.record_span(
                 "sweep.cell",
                 cell["duration_s"],
+                family=cell["cell"].get("family", "us2015"),
                 seed=cell["cell"]["seed"],
                 driver=cell["cell"]["driver"],
                 driver_seed=cell["cell"]["driver_seed"],
@@ -304,6 +307,7 @@ def run_sweep(
         tracer.record_span(
             "sweep.cell",
             result["duration_s"],
+            family=result["cell"].get("family", "us2015"),
             seed=result["cell"]["seed"],
             driver=result["cell"]["driver"],
             ok=result["ok"],

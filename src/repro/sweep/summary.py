@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 #: Cell-level columns carried by the summary, in serialization order.
 COLUMNS = (
+    "family",
     "seed",
     "traces",
     "max_k",
@@ -67,6 +68,7 @@ class SweepSummary:
         metrics = cell.get("metrics") or {}
         cache = cell.get("cache") or {}
         row = {
+            "family": spec.get("family", "us2015"),
             "seed": spec["seed"],
             "traces": spec["traces"],
             "max_k": spec["max_k"],
@@ -104,15 +106,18 @@ class SweepSummary:
         ]
 
     def _per_seed_first(self, name: str) -> List[float]:
-        """One value per distinct seed (first ok cell wins) — sharing
-        and SRR are driver-independent, so duplicating them across the
-        driver axis would skew their distributions."""
-        seen: Dict[int, float] = {}
-        for seed, value, ok in zip(
-            self.columns["seed"], self.columns[name], self.columns["ok"]
+        """One value per distinct (family, seed) scenario (first ok cell
+        wins) — sharing and SRR are driver-independent, so duplicating
+        them across the driver axis would skew their distributions."""
+        seen: Dict[Any, float] = {}
+        for family, seed, value, ok in zip(
+            self.columns["family"],
+            self.columns["seed"],
+            self.columns[name],
+            self.columns["ok"],
         ):
-            if ok and value is not None and seed not in seen:
-                seen[seed] = value
+            if ok and value is not None and (family, seed) not in seen:
+                seen[(family, seed)] = value
         return list(seen.values())
 
     def aggregates(self) -> Dict[str, Any]:
@@ -121,6 +126,7 @@ class SweepSummary:
             "cells": len(self),
             "cells_ok": sum(1 for ok in self.columns["ok"] if ok),
             "seeds": len(dict.fromkeys(self.columns["seed"])),
+            "families": len(dict.fromkeys(self.columns["family"])),
             "gain_per_driver": {
                 driver: _dist(gains)
                 for driver, gains in sorted(self.gains_by_driver.items())

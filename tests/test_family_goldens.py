@@ -1,0 +1,83 @@
+"""Family-registry golden regression suite.
+
+The map-family refactor rerouted every ``us2015`` build through the
+:mod:`repro.families` registry: ``ScenarioConfig`` gained a ``family``
+field, the stage table is produced per-family, and the experiment
+runner gates on family support.  These tests prove the reroute is
+byte-identical for the default family by pinning pre-refactor digests
+of the key artifacts *and* of rendered experiment text — recorded
+against the direct (pre-registry) implementation for the shared test
+configuration (seed 2015, 3000 traces) — against the family-registry
+path every artifact now takes.
+
+Artifact digests reuse the canonical renderers from
+:mod:`tests.test_golden_hashes`; experiment digests hash the formatted
+``result.text``, which transitively covers the constructed map, the
+risk matrix, the routing substrate, and the §5 mitigation pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+from repro.families import DEFAULT_FAMILY, get_family
+from repro.scenario import STAGES, ScenarioConfig, load_scenario, us2015
+
+from tests.test_golden_hashes import (
+    GOLDEN,
+    _digest,
+    fiber_map_digest,
+    risk_matrix_digest,
+)
+
+#: Pre-refactor text digests (sha256 of ``result.text``, first 16 hex)
+#: for the shared test scenario: seed 2015, campaign_traces 3000.
+GOLDEN_TEXT = {
+    "fig10": "2312bd799ca474ef",
+    "fig11": "b05e4bb1830d3348",
+    "fig12": "48d2cadb441d69f0",
+}
+
+
+class TestRegistryPathArtifacts:
+    """The session scenario builds through the registry — same bytes."""
+
+    def test_scenario_resolves_default_family(self, scenario):
+        assert scenario.config.family == DEFAULT_FAMILY
+        assert scenario.family is get_family(DEFAULT_FAMILY)
+
+    def test_constructed_map_digest(self, scenario):
+        assert fiber_map_digest(scenario.constructed_map) == (
+            GOLDEN["constructed_map"]
+        )
+
+    def test_risk_matrix_digest(self, scenario):
+        assert risk_matrix_digest(scenario.risk_matrix) == (
+            GOLDEN["risk_matrix"]
+        )
+
+
+class TestExperimentTextGoldens:
+    """Rendered experiment text through the family-gated runner."""
+
+    def test_fig10_text(self, scenario):
+        result = run_experiment("fig10", scenario)
+        assert _digest(result.text) == GOLDEN_TEXT["fig10"]
+
+    def test_fig11_text(self, scenario):
+        result = run_experiment("fig11", scenario)
+        assert _digest(result.text) == GOLDEN_TEXT["fig11"]
+
+    def test_fig12_text(self, scenario):
+        result = run_experiment("fig12", scenario)
+        assert _digest(result.text) == GOLDEN_TEXT["fig12"]
+
+
+class TestAliasEquivalence:
+    """``us2015()`` and ``load_scenario()`` share one memoized path."""
+
+    def test_stage_table_matches_family(self):
+        assert STAGES == get_family(DEFAULT_FAMILY).stage_table()
+
+    def test_us2015_is_load_scenario_default(self):
+        config = ScenarioConfig(seed=2015, campaign_traces=50)
+        assert us2015(config=config) is load_scenario(config=config)

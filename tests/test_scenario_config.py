@@ -63,6 +63,7 @@ class TestScenarioConfig:
             "campaign_traces": 123,
             "workers": 2,
             "cache": str(tmp_path),
+            "family": "us2015",
         }
 
 

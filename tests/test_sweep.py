@@ -5,6 +5,7 @@ temporary cache root with observable cross-cell dedup.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -255,17 +256,33 @@ class TestSingleFlightLock:
             with cache.single_flight("stage", {"seed": 2}) as b:
                 assert a is False and b is False
 
-    def test_locks_dir_survives_clear(self, tmp_path):
+    def test_clear_sweeps_released_locks_only(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         cache.store("stage", {"seed": 1}, {"x": 1})
         with cache.single_flight("stage", {"seed": 1}):
             pass
-        locks = list((tmp_path / "locks").iterdir())
-        assert locks
-        cache.clear()
-        # clear() sweeps entries, never active lock files.
-        assert list((tmp_path / "locks").iterdir()) == locks
+        assert cache.lock_files()
+        # A lock some process still holds must survive any sweep; the
+        # released one above is provably dead and goes with the entries.
+        with cache.single_flight("stage", {"seed": 2}):
+            held = [p.name for p in cache.lock_files()]
+            cache.clear()
+            survivors = [p.name for p in cache.lock_files()]
+            assert len(survivors) == 1 and survivors[0] in held
         assert cache.fetch("stage", {"seed": 1}) == (False, None)
+
+    def test_prune_sweeps_stale_locks_by_age(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with cache.single_flight("stage", {"seed": 1}):
+            pass
+        (path,) = cache.lock_files()
+        # Fresh locks survive the age gate; backdated ones are swept.
+        assert cache.prune().locks_swept == 0
+        old = time.time() - 7200
+        os.utime(path, (old, old))
+        result = cache.prune()
+        assert result.locks_swept == 1
+        assert cache.lock_files() == []
 
 
 class _CoalescingCache:
