@@ -59,6 +59,11 @@ from repro.scenario import (
     ScenarioConfig,
     load_scenario,
 )
+from repro.traceroute.rngv2 import (
+    DEFAULT_BATCH_SIZE,
+    SUPPORTED_RNG_CONTRACTS,
+    default_rng_contract,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +91,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="campaign worker processes (0 = one per CPU core)",
+    )
+    parser.add_argument(
+        "--rng-contract", type=int, default=None, metavar="V",
+        choices=SUPPORTED_RNG_CONTRACTS,
+        help="campaign RNG contract version: 2 (counter-based "
+             "vectorized streams, the default) or 1 (the legacy "
+             "per-trace Mersenne streams, reproducing pre-v2 goldens); "
+             "default honors REPRO_RNG_CONTRACT",
     )
     parser.add_argument(
         "--cache-dir", metavar="PATH", default=None,
@@ -417,8 +430,12 @@ def _cmd_campaign(scenario: Scenario, as_json: bool) -> int:
         "hops": columns.num_hops,
         "mean_hops": columns.num_hops / num if num else 0.0,
         "columnar_bytes": columns.nbytes,
-        "schema_digest": columns.schema.digest(),
+        "schema_digest": columns.schema.digest(
+            rng_contract=columns.rng_contract
+        ),
         "workers": scenario.workers,
+        "rng_contract": columns.rng_contract,
+        "batch_size": DEFAULT_BATCH_SIZE,
         "build_seconds": elapsed,
         "records_per_second": rate,
     }
@@ -437,8 +454,9 @@ def _cmd_campaign(scenario: Scenario, as_json: bool) -> int:
     )
     print(
         f"built in {elapsed:.2f} s with workers={scenario.workers} "
-        f"({rate:,.0f} records/s, including upstream stages on a "
-        f"cold scenario)"
+        f"under rng contract v{columns.rng_contract} "
+        f"(batch {payload['batch_size']}; {rate:,.0f} records/s, "
+        f"including upstream stages on a cold scenario)"
     )
     return 0
 
@@ -606,6 +624,7 @@ def _cmd_serve(scenario: Scenario, args: argparse.Namespace, tracer) -> int:
                 workers=base.workers,
                 cache=base.cache,
                 family=family,
+                rng_contract=base.rng_contract,
             )
             registry.add(name, scenario=load_scenario(config=variant))
         except ValueError as error:
@@ -650,6 +669,11 @@ def _cmd_sweep(
         axes.setdefault("seed", [args.seed])
         axes.setdefault("max_k", [args.max_k])
         axes.setdefault("family", [args.family])
+        axes.setdefault(
+            "rng_contract",
+            [args.rng_contract if args.rng_contract is not None
+             else default_rng_contract()],
+        )
         if "traces" not in axes:
             from repro.sweep.grid import DEFAULT_CELL_TRACES
 
@@ -962,12 +986,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
     from repro.obs import RunManifest, Tracer, set_tracer
 
     cache = False if args.no_cache else (args.cache_dir or None)
+    if args.rng_contract is None:
+        args.rng_contract = default_rng_contract()
     config = ScenarioConfig(
         seed=args.seed,
         campaign_traces=args.traces,
         workers=args.workers,
         cache=cache,
         family=args.family,
+        rng_contract=args.rng_contract,
     )
     tracer = Tracer() if args.trace else None
     previous = set_tracer(tracer) if tracer is not None else None

@@ -102,12 +102,16 @@ class MapFamily:
         if self.prepare is not None:
             self.prepare()
 
-    def stage_table(self) -> Tuple[Any, ...]:
+    def stage_table(self, rng_contract: int = 1) -> Tuple[Any, ...]:
         """This family's stage-graph table (see
-        :func:`repro.families.stages.build_stage_table`)."""
+        :func:`repro.families.stages.build_stage_table`).
+
+        *rng_contract* only widens draw-dependent cache keys under v2;
+        the default keeps the historical (contract v1) keys.
+        """
         from repro.families.stages import build_stage_table
 
-        return build_stage_table(self)
+        return build_stage_table(self, rng_contract=rng_contract)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-safe summary (CLI ``families`` listing, service info)."""

@@ -35,6 +35,7 @@ from repro.traceroute.columns import TraceColumns
 from repro.traceroute.geolocate import GeolocationDatabase
 from repro.traceroute.overlay import TrafficOverlay
 from repro.traceroute.probe import ProbeEngine
+from repro.traceroute.rngv2 import RNG_CONTRACT_V1, default_rng_contract
 from repro.traceroute.topology import InternetTopology
 
 
@@ -75,6 +76,10 @@ def _build_probe_engine(ctx: StageContext) -> ProbeEngine:
     return ProbeEngine(ctx.dep("topology"), seed=ctx.seed)
 
 
+def _rng_contract_of(ctx: StageContext) -> int:
+    return ctx.params.get("rng_contract", default_rng_contract())
+
+
 def _build_campaign(ctx: StageContext) -> TraceColumns:
     family = _family_of(ctx)
     overrides = {}
@@ -86,6 +91,7 @@ def _build_campaign(ctx: StageContext) -> TraceColumns:
         num_traces=ctx.params["traces"],
         seed=ctx.seed,
         workers=ctx.params["workers"],
+        rng_contract=_rng_contract_of(ctx),
         **overrides,
     )
     return run_campaign(
@@ -94,7 +100,11 @@ def _build_campaign(ctx: StageContext) -> TraceColumns:
 
 
 def _build_geolocation(ctx: StageContext) -> GeolocationDatabase:
-    return GeolocationDatabase(ctx.dep("topology"), seed=ctx.seed)
+    return GeolocationDatabase(
+        ctx.dep("topology"),
+        seed=ctx.seed,
+        rng_contract=_rng_contract_of(ctx),
+    )
 
 
 def _build_overlay(ctx: StageContext) -> TrafficOverlay:
@@ -146,7 +156,9 @@ STAGE_OF_ATTRIBUTE: Dict[str, str] = {
 }
 
 
-def build_stage_table(family: MapFamily) -> Tuple[StageDef, ...]:
+def build_stage_table(
+    family: MapFamily, rng_contract: int = RNG_CONTRACT_V1
+) -> Tuple[StageDef, ...]:
     """The declared dataflow of one scenario of *family*, in paper order.
 
     Seed offsets are the historical per-stage derivations (previously
@@ -156,12 +168,22 @@ def build_stage_table(family: MapFamily) -> Tuple[StageDef, ...]:
     families prepend ``family`` to every persisted stage's cache key.
     The campaign's worker count shards the build without changing its
     records, so it stays out of the cache key everywhere.
+
+    Under RNG contract v2 the draw-dependent persisted stages (campaign,
+    overlay) append ``rng_contract`` to their cache keys; contract-v1
+    artifacts keep their historical keys, so the two contracts' cached
+    artifacts never collide and a pre-v2 warm cache still serves v1.
     """
 
     def keyed(*params: str) -> Tuple[str, ...]:
-        if family.name == DEFAULT_FAMILY:
-            return params
-        return ("family",) + params
+        if family.name != DEFAULT_FAMILY:
+            params = ("family",) + params
+        return params
+
+    def draw_keyed(*params: str) -> Tuple[str, ...]:
+        if rng_contract != RNG_CONTRACT_V1:
+            params = params + ("rng_contract",)
+        return keyed(*params)
 
     return (
         StageDef(
@@ -198,7 +220,7 @@ def build_stage_table(family: MapFamily) -> Tuple[StageDef, ...]:
         StageDef(
             "campaign", _build_campaign,
             deps=("topology", "probe_engine"), seed_offset=5,
-            persist=True, cache_params=keyed("seed", "traces"),
+            persist=True, cache_params=draw_keyed("seed", "traces"),
             doc="the §4.3 traceroute campaign (columnar record store)",
         ),
         StageDef(
@@ -209,7 +231,7 @@ def build_stage_table(family: MapFamily) -> Tuple[StageDef, ...]:
         StageDef(
             "overlay", _build_overlay,
             deps=("constructed_map", "topology", "geolocation", "campaign"),
-            persist=True, cache_params=keyed("seed", "traces"),
+            persist=True, cache_params=draw_keyed("seed", "traces"),
             doc="the §4.3 traffic overlay on the constructed map",
         ),
         StageDef(

@@ -64,6 +64,10 @@ from repro.perf.substrate import RoutingSubstrate
 from repro.risk.matrix import RiskMatrix
 from repro.traceroute.columns import TraceColumns
 from repro.traceroute.geolocate import GeolocationDatabase
+from repro.traceroute.rngv2 import (
+    SUPPORTED_RNG_CONTRACTS,
+    default_rng_contract,
+)
 from repro.traceroute.overlay import TrafficOverlay
 from repro.traceroute.probe import ProbeEngine
 from repro.traceroute.topology import InternetTopology
@@ -94,12 +98,18 @@ class ScenarioConfig:
     workers: int = 1
     cache: CacheLike = field(default=None)
     family: str = DEFAULT_FAMILY
+    rng_contract: int = field(default_factory=default_rng_contract)
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "cache", normalize_cache_setting(self.cache)
         )
         get_family(self.family)  # fail fast on unknown families
+        if self.rng_contract not in SUPPORTED_RNG_CONTRACTS:
+            raise ValueError(
+                f"rng_contract must be one of {SUPPORTED_RNG_CONTRACTS}, "
+                f"got {self.rng_contract!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (embedded in run manifests and BENCH records)."""
@@ -109,6 +119,7 @@ class ScenarioConfig:
             "workers": self.workers,
             "cache": describe_cache_setting(self.cache),
             "family": self.family,
+            "rng_contract": self.rng_contract,
         }
 
 
@@ -126,18 +137,22 @@ def build_stage_graph(
     The ``family`` graph parameter reaches the family-generic stage
     builders; for the default family it is **not** part of any cache
     key (preserving pre-registry keys), while other families' persisted
-    stages are keyed on it.
+    stages are keyed on it.  ``rng_contract`` likewise reaches the
+    campaign/geolocation builders, and joins the draw-dependent stages'
+    cache keys only under contract v2 — v1 artifacts keep their
+    historical keys, and v1/v2 artifacts can never collide.
     """
     family = get_family(config.family)
     family.ensure_ready()
     return StageGraph(
-        family.stage_table(),
+        family.stage_table(rng_contract=config.rng_contract),
         base_seed=config.seed,
         params={
             "seed": config.seed,
             "traces": config.campaign_traces,
             "workers": config.workers,
             "family": config.family,
+            "rng_contract": config.rng_contract,
         },
         cache=cache,
         span_prefix="scenario",

@@ -9,6 +9,7 @@ scenario and optimizer parameters.  Axes arrive as ``KEY=SPEC`` strings
 * ``driver=greedy,anneal`` — optimizer drivers (aliases resolve)
 * ``family=us2015,global2023`` — map families (registry-validated)
 * ``traces=2000`` / ``max_k=4`` / ``driver_seed=0..2`` — scalars/ranges
+* ``rng_contract=1,2`` — campaign RNG contract versions (validated)
 
 Expansion is deterministic: axes iterate in canonical order and cells
 come out in row-major cartesian order, so the same grid spec always
@@ -21,17 +22,25 @@ an empty or misconfigured grid.
 from __future__ import annotations
 
 import itertools
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.families import DEFAULT_FAMILY, get_family
 from repro.mitigation.drivers import canonical_driver
+from repro.traceroute.rngv2 import (
+    SUPPORTED_RNG_CONTRACTS,
+    default_rng_contract,
+)
 
 #: Canonical axis order — also the cartesian expansion order.  ``family``
-#: sits last so pre-registry grids keep their historical cell order.
-AXIS_ORDER = ("seed", "traces", "max_k", "driver", "driver_seed", "family")
+#: and ``rng_contract`` sit last so pre-registry grids keep their
+#: historical cell order.
+AXIS_ORDER = (
+    "seed", "traces", "max_k", "driver", "driver_seed", "family",
+    "rng_contract",
+)
 
-_INT_AXES = frozenset({"seed", "traces", "max_k", "driver_seed"})
+_INT_AXES = frozenset({"seed", "traces", "max_k", "driver_seed", "rng_contract"})
 
 #: Default campaign size per cell: big enough for a stable risk matrix,
 #: small enough that a cell is dominated by map construction.
@@ -64,6 +73,7 @@ class SweepCell:
     driver: str = "greedy"
     driver_seed: int = 0
     family: str = DEFAULT_FAMILY
+    rng_contract: int = field(default_factory=default_rng_contract)
 
     @property
     def label(self) -> str:
@@ -71,10 +81,22 @@ class SweepCell:
         return (
             f"{prefix}seed={self.seed} driver={self.driver}"
             f"/{self.driver_seed} traces={self.traces} k={self.max_k}"
+            f" rng=v{self.rng_contract}"
         )
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
+
+
+def _check_contracts(key: str, values: List[int]) -> List[int]:
+    if key == "rng_contract":
+        bad = [v for v in values if v not in SUPPORTED_RNG_CONTRACTS]
+        if bad:
+            raise ValueError(
+                f"unsupported rng_contract {bad[0]} (supported: "
+                f"{', '.join(map(str, SUPPORTED_RNG_CONTRACTS))})"
+            )
+    return values
 
 
 def _parse_values(key: str, spec: str) -> List[Any]:
@@ -92,15 +114,16 @@ def _parse_values(key: str, spec: str) -> List[Any]:
             ) from None
         if hi < lo:
             raise ValueError(f"descending range for sweep axis {key!r}: {spec!r}")
-        return list(range(lo, hi + 1))
+        return _check_contracts(key, list(range(lo, hi + 1)))
     parts = [p.strip() for p in spec.split(",") if p.strip()]
     if key in _INT_AXES:
         try:
-            return [int(p) for p in parts]
+            values = [int(p) for p in parts]
         except ValueError:
             raise ValueError(
                 f"non-integer value for sweep axis {key!r}: {spec!r}"
             ) from None
+        return _check_contracts(key, values)
     if key == "driver":
         return [canonical_driver(p) for p in parts]
     if key == "family":

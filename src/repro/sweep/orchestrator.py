@@ -112,6 +112,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 seed=cell.seed,
                 driver=cell.driver,
                 driver_seed=cell.driver_seed,
+                rng_contract=cell.rng_contract,
             ):
                 scenario = Scenario(
                     config=ScenarioConfig(
@@ -120,6 +121,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                         workers=1,
                         cache=payload.get("cache"),
                         family=cell.family,
+                        rng_contract=cell.rng_contract,
                     )
                 )
                 result["metrics"] = _cell_metrics(

@@ -11,7 +11,15 @@ Every trace index owns a private RNG stream derived from
 ``(config.seed, index)``, so a campaign is an order-independent map
 over trace indices: the serial loop and the sharded
 ``ProcessPoolExecutor`` path produce byte-identical columns, and any
-subrange can be regenerated without replaying the whole campaign.
+subrange can be regenerated without replaying the whole campaign.  Two
+stream *contracts* implement that property (``config.rng_contract``):
+
+* **v1** — per-trace ``random.Random(blake2b(seed:index))`` streams,
+  the historical contract, kept bit-for-bit for every pinned golden;
+* **v2** (default) — counter-based Philox streams positioned by the
+  absolute trace index (:mod:`repro.traceroute.rngv2`), which lets a
+  shard draw thousands of traces per numpy call instead of paying the
+  ~14.5 µs/trace Python RNG floor.
 
 A campaign materializes as :class:`~repro.traceroute.columns.TraceColumns`
 — numpy columns plus interned string tables — not a list of record
@@ -48,7 +56,7 @@ import time
 from bisect import bisect
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import accumulate
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, List, Optional, Tuple
@@ -63,6 +71,14 @@ from repro.obs.faults import FaultInjector, get_fault_injector, set_fault_inject
 from repro.obs.tracer import get_tracer
 from repro.traceroute.columns import ColumnSchema, TraceColumns, unpack_shard
 from repro.traceroute.probe import ProbeEngine, TracerouteRecord
+from repro.traceroute.rngv2 import (  # noqa: F401 (re-exports)
+    DEFAULT_BATCH_SIZE,
+    MAX_ATTEMPTS_PER_TRACE,
+    SUPPORTED_RNG_CONTRACTS,
+    default_rng_contract,
+    generate_columns_v2,
+    trace_record_v2,
+)
 from repro.traceroute.topology import InternetTopology
 
 #: Residential access providers clients sit behind, with mix weights.
@@ -93,11 +109,6 @@ DEFAULT_DEST_ISPS: Tuple[Tuple[str, float], ...] = (
     ("Sprint", 0.6),
     ("GTT", 0.4),
 )
-
-#: Retry budget within one trace's private RNG stream: degenerate draws
-#: (same endpoint, missing POP) are redrawn from the same stream, which
-#: keeps every trace independent of all others.
-MAX_ATTEMPTS_PER_TRACE = 128
 
 #: Smallest shard handed to one worker task; keeps task dispatch
 #: overhead negligible next to the tracing work.
@@ -132,6 +143,24 @@ class CampaignConfig:
     #: First retry delay; doubles per consecutive restart, capped at
     #: :data:`_RETRY_BACKOFF_CAP_S`.
     retry_backoff_s: float = 0.05
+    #: RNG contract version: 1 = per-trace ``random.Random`` streams
+    #: (the historical contract, kept for golden compatibility), 2 =
+    #: counter-based vectorized Philox streams (see
+    #: :mod:`repro.traceroute.rngv2`).  Defaults from the
+    #: ``REPRO_RNG_CONTRACT`` environment, else v2.
+    rng_contract: int = field(default_factory=default_rng_contract)
+    #: v2 vectorization batch (traces materialized per numpy call);
+    #: never affects the column bytes, only peak working-set size.
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.rng_contract not in SUPPORTED_RNG_CONTRACTS:
+            raise ValueError(
+                f"rng_contract must be one of {SUPPORTED_RNG_CONTRACTS}, "
+                f"got {self.rng_contract!r}"
+            )
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
 
 
 def _city_table(
@@ -199,9 +228,13 @@ def _trace_for_index(
 ) -> TracerouteRecord:
     """The record for one trace index, independent of all other traces.
 
-    The reference object path: :func:`_columns_for_index` consumes the
-    identical RNG stream, so both render the same trace.
+    Dispatches on ``config.rng_contract``; under v1 this is the
+    reference object path whose RNG stream :func:`_columns_for_index`
+    consumes draw for draw, under v2 it delegates to the scalar
+    reference implementation of the vectorized batch path.
     """
+    if config.rng_contract == 2:
+        return trace_record_v2(engine, plan, config, index)
     rng = random.Random(_trace_seed(config.seed, index))
     for _ in range(MAX_ATTEMPTS_PER_TRACE):
         src_isp = _pick(rng, plan.client_names, plan.client_cum)
@@ -252,6 +285,25 @@ def _columns_for_index(
         f"trace {index}: no reachable (src, dst) pair after "
         f"{MAX_ATTEMPTS_PER_TRACE} draws; topology too disconnected"
     )
+
+
+def _shard_columns(
+    engine: ProbeEngine,
+    plan: _CampaignPlan,
+    config: CampaignConfig,
+    start: int,
+    stop: int,
+) -> TraceColumns:
+    """Columns of trace indices ``[start, stop)`` under the active
+    contract — the one code path serial runs, pool workers, and the
+    serial fallback all share, so every execution mode is identical by
+    construction."""
+    if config.rng_contract == 2:
+        return generate_columns_v2(engine, plan, config, start, stop)
+    writer = engine.begin_columns(stop - start)
+    for index in range(start, stop):
+        _columns_for_index(engine, plan, config, writer, index)
+    return writer.finish()
 
 
 def resolve_workers(workers: int) -> int:
@@ -393,10 +445,7 @@ def _run_chunk(
         injector.maybe_crash_worker(start)
     engine, plan, config, token = _WORKER_STATE
     started = time.perf_counter()
-    writer = engine.begin_columns(stop - start)
-    for index in range(start, stop):
-        _columns_for_index(engine, plan, config, writer, index)
-    columns = writer.finish()
+    columns = _shard_columns(engine, plan, config, start, stop)
     elapsed = time.perf_counter() - started
     name = _segment_name(token, start)
     segment = _create_segment(name, columns.transport_size())
@@ -438,20 +487,21 @@ def run_campaign(
     if n_workers <= 1:
         with tracer.span(
             "campaign.run", traces=config.num_traces, workers=1,
-            mode="serial",
+            mode="serial", rng_contract=config.rng_contract,
+            batch_size=config.batch_size,
         ):
             if engine is None:
                 engine = ProbeEngine(topology, seed=config.seed + 1)
             engine.prepare_destinations(plan.dest_nodes)
-            writer = engine.begin_columns(config.num_traces)
-            for index in range(config.num_traces):
-                _columns_for_index(engine, plan, config, writer, index)
-            columns = writer.finish()
+            columns = _shard_columns(
+                engine, plan, config, 0, config.num_traces
+            )
             tracer.count("records", len(columns))
             return columns
     with tracer.span(
         "campaign.run", traces=config.num_traces, workers=n_workers,
-        mode="pool",
+        mode="pool", rng_contract=config.rng_contract,
+        batch_size=config.batch_size,
     ):
         # Warm the shared routing core before forking so every worker
         # inherits the batched predecessor arrays instead of recomputing.
@@ -532,7 +582,8 @@ def _run_sharded(
                         # view must be droppable (results.clear) before
                         # the cleanup sweep closes the mappings.
                         results[(start, stop)] = unpack_shard(
-                            schema, segments.attach(name).buf, manifest
+                            schema, segments.attach(name).buf, manifest,
+                            expect_rng_contract=config.rng_contract,
                         )
                         harvested += 1
                         tracer.record_span(
@@ -588,10 +639,9 @@ def _run_serial_fallback(
     tracer = get_tracer()
     for start, stop in pending:
         started = time.perf_counter()
-        writer = engine.begin_columns(stop - start)
-        for index in range(start, stop):
-            _columns_for_index(engine, plan, config, writer, index)
-        results[(start, stop)] = writer.finish()
+        results[(start, stop)] = _shard_columns(
+            engine, plan, config, start, stop
+        )
         tracer.record_span(
             "campaign.shard", time.perf_counter() - started,
             start=start, stop=stop, records=stop - start, degraded=True,

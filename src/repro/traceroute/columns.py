@@ -68,8 +68,12 @@ TRACE_DTYPE = np.dtype(
     ]
 )
 
-#: Serialization format version (stored in npz payloads).
-COLUMNS_FORMAT_VERSION = 1
+#: Serialization format version (stored in npz payloads).  Version 1 is
+#: the historical RNG-contract-v1 layout; version 2 adds the
+#: ``rng_contract`` field.  Contract-v1 columns still serialize as
+#: version 1, so artifacts cached before the contract existed remain
+#: byte-compatible with artifacts written today.
+COLUMNS_FORMAT_VERSION = 2
 
 
 def _as_str_tuple(values) -> Tuple[str, ...]:
@@ -134,8 +138,14 @@ class ColumnSchema:
             router_nodes=nodes,
         )
 
-    def digest(self) -> str:
-        """Content hash used to cross-check worker/parent agreement."""
+    def digest(self, rng_contract: Optional[int] = None) -> str:
+        """Content hash used to cross-check worker/parent agreement.
+
+        *rng_contract* mixes the campaign's RNG contract version into
+        the hash so v1 and v2 shard manifests can never be confused for
+        one another; contract 1 (and ``None``) reproduce the historical
+        pure-schema digest.
+        """
         h = hashlib.blake2b(digest_size=8)
         for table in (self.cities, self.isps, self.router_ips,
                       self.router_dns):
@@ -143,6 +153,8 @@ class ColumnSchema:
                 h.update(item.encode())
                 h.update(b"\0")
             h.update(b"\1")
+        if rng_contract is not None and rng_contract != 1:
+            h.update(b"rng%d" % rng_contract)
         return h.hexdigest()
 
 
@@ -202,6 +214,7 @@ class TraceColumns:
         hop_offsets: np.ndarray,
         hop_router: np.ndarray,
         hop_rtt: np.ndarray,
+        rng_contract: int = 1,
     ):
         if traces.dtype != TRACE_DTYPE:
             raise ValueError(f"traces dtype must be {TRACE_DTYPE}")
@@ -212,6 +225,10 @@ class TraceColumns:
         self.hop_offsets = hop_offsets
         self.hop_router = hop_router
         self.hop_rtt = hop_rtt
+        #: The RNG contract the campaign was drawn under (provenance;
+        #: threaded through shard manifests and npz payloads so v1 and
+        #: v2 columns can never be silently mixed or mislabeled).
+        self.rng_contract = int(rng_contract)
 
     # -- sizing --------------------------------------------------------
     def __len__(self) -> int:
@@ -322,6 +339,13 @@ class TraceColumns:
         cls, schema: ColumnSchema, parts: Sequence["TraceColumns"]
     ) -> "TraceColumns":
         """Stitch shard columns (in shard order) into one campaign."""
+        contracts = {p.rng_contract for p in parts}
+        if len(contracts) > 1:
+            raise ValueError(
+                f"cannot concatenate columns of mixed RNG contracts "
+                f"{sorted(contracts)}"
+            )
+        rng_contract = contracts.pop() if contracts else 1
         n = sum(len(p) for p in parts)
         h = sum(p.num_hops for p in parts)
         traces = np.empty(n, dtype=TRACE_DTYPE)
@@ -339,7 +363,10 @@ class TraceColumns:
             hop_rtt[k:k + ph] = part.hop_rtt
             t += pn
             k += ph
-        return cls(schema, traces, hop_offsets, hop_router, hop_rtt)
+        return cls(
+            schema, traces, hop_offsets, hop_router, hop_rtt,
+            rng_contract=rng_contract,
+        )
 
     # -- flat-buffer transport (shared-memory shards) ------------------
     def _transport_arrays(self) -> Tuple[Tuple[str, np.ndarray], ...]:
@@ -381,21 +408,40 @@ class TraceColumns:
             "format": COLUMNS_FORMAT_VERSION,
             "num_traces": len(self),
             "num_hops": self.num_hops,
-            "schema_digest": self.schema.digest(),
+            "rng_contract": self.rng_contract,
+            "schema_digest": self.schema.digest(
+                rng_contract=self.rng_contract
+            ),
             "arrays": layout,
         }
 
 
 def unpack_shard(
-    schema: ColumnSchema, buffer, manifest: Dict[str, Any]
+    schema: ColumnSchema,
+    buffer,
+    manifest: Dict[str, Any],
+    expect_rng_contract: Optional[int] = None,
 ) -> TraceColumns:
     """Map a shard's columns out of a shared-memory *buffer*.
 
     The returned arrays are **views into the segment** (zero-copy); the
     caller must copy (e.g. via :meth:`TraceColumns.concatenate`) before
-    the segment is closed and unlinked.
+    the segment is closed and unlinked.  *expect_rng_contract* rejects
+    a shard drawn under a different RNG contract than the campaign that
+    is stitching it (a worker/parent disagreement that must never be
+    silently absorbed).
     """
-    if manifest.get("schema_digest") != schema.digest():
+    shard_contract = int(manifest.get("rng_contract", 1))
+    if (
+        expect_rng_contract is not None
+        and shard_contract != expect_rng_contract
+    ):
+        raise ValueError(
+            f"shard was drawn under RNG contract {shard_contract}, "
+            f"campaign expects contract {expect_rng_contract}"
+        )
+    expected_digest = schema.digest(rng_contract=shard_contract)
+    if manifest.get("schema_digest") != expected_digest:
         raise ValueError(
             "shard schema digest does not match the parent topology"
         )
@@ -411,6 +457,7 @@ def unpack_shard(
         hop_offsets=arrays["hop_offsets"],
         hop_router=arrays["hop_router"],
         hop_rtt=arrays["hop_rtt"],
+        rng_contract=shard_contract,
     )
 
 
@@ -506,11 +553,26 @@ class ColumnWriter:
 # cache: a campaign artifact must never round-trip through pickle).
 # ----------------------------------------------------------------------
 def columns_to_npz_bytes(columns: TraceColumns) -> bytes:
-    """Serialize columns (and their string tables) as an npz payload."""
+    """Serialize columns (and their string tables) as an npz payload.
+
+    Contract-v1 columns write the historical version-1 layout (no
+    ``rng_contract`` field), so artifacts cached before the RNG
+    contract existed read back — and hash — identically to artifacts
+    written today.  Contract-v2 columns write version 2 with an
+    explicit ``rng_contract`` field.
+    """
     buf = io.BytesIO()
+    extra: Dict[str, np.ndarray] = {}
+    version = 1
+    if columns.rng_contract != 1:
+        version = COLUMNS_FORMAT_VERSION
+        extra["rng_contract"] = np.array(
+            [columns.rng_contract], dtype=np.int64
+        )
     np.savez(
         buf,
-        version=np.array([COLUMNS_FORMAT_VERSION], dtype=np.int64),
+        version=np.array([version], dtype=np.int64),
+        **extra,
         traces=columns.traces,
         hop_offsets=columns.hop_offsets,
         hop_router=columns.hop_router,
@@ -533,8 +595,11 @@ def columns_from_npz_bytes(payload: bytes) -> TraceColumns:
     """Inverse of :func:`columns_to_npz_bytes` (``allow_pickle=False``)."""
     with np.load(io.BytesIO(payload), allow_pickle=False) as data:
         version = int(data["version"][0])
-        if version != COLUMNS_FORMAT_VERSION:
+        if version not in (1, COLUMNS_FORMAT_VERSION):
             raise ValueError(f"unsupported columns format {version}")
+        rng_contract = (
+            int(data["rng_contract"][0]) if "rng_contract" in data else 1
+        )
         schema = ColumnSchema(
             cities=data["cities"].tolist(),
             isps=data["isps"].tolist(),
@@ -551,4 +616,5 @@ def columns_from_npz_bytes(payload: bytes) -> TraceColumns:
             hop_offsets=data["hop_offsets"],
             hop_router=data["hop_router"],
             hop_rtt=data["hop_rtt"],
+            rng_contract=rng_contract,
         )

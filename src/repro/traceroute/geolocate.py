@@ -16,6 +16,12 @@ from typing import Dict, Optional
 
 from repro.data.cities import CITIES, city_by_code, city_by_name, nearest_city
 from repro.fibermap.synthesis import _stable_unit
+from repro.traceroute.rngv2 import (
+    RNG_CONTRACT_V1,
+    SUPPORTED_RNG_CONTRACTS,
+    default_rng_contract,
+    geo_unit_draws,
+)
 from repro.traceroute.topology import InternetTopology
 
 #: Probability the database returns the correct city.
@@ -47,6 +53,14 @@ class GeolocationDatabase:
 
     Built once against a topology's address plan; per-IP results are
     deterministic (the same IP always geolocates to the same answer).
+
+    Near-miss city picks follow the configured RNG contract: under v1
+    (the historical behavior) a single sequential ``random.Random(seed)``
+    feeds ``choice``; under v2 the build consumes the GEO stream of the
+    counter-based contract (:func:`repro.traceroute.rngv2.geo_unit_draws`)
+    — every router owns the slot-0 uniform of its enumeration index
+    (sorted providers, each provider's sorted routers), so each answer
+    is independent of every other router's error mode.
     """
 
     def __init__(
@@ -55,31 +69,51 @@ class GeolocationDatabase:
         accuracy: float = DEFAULT_ACCURACY,
         near_miss: float = DEFAULT_NEAR_MISS,
         seed: int = 57,
+        rng_contract: Optional[int] = None,
     ):
         if accuracy + near_miss > 1.0:
             raise ValueError("accuracy + near_miss must be <= 1")
+        if rng_contract is None:
+            rng_contract = default_rng_contract()
+        if rng_contract not in SUPPORTED_RNG_CONTRACTS:
+            raise ValueError(
+                f"rng_contract must be one of {SUPPORTED_RNG_CONTRACTS}, "
+                f"got {rng_contract!r}"
+            )
+        self.rng_contract = rng_contract
         self._entries: Dict[str, Optional[str]] = {}
-        rng = random.Random(seed)
-        for isp in topology.providers():
-            for router in topology.routers_of(isp):
-                u = _stable_unit(f"geo|{router.ip}|{seed}")
-                if u < accuracy:
-                    answer: Optional[str] = router.city_key
-                elif u < accuracy + near_miss:
-                    true_city = city_by_name(router.city_key)
-                    pool = [
-                        c
-                        for c in CITIES
-                        if c.key != true_city.key
-                        and true_city.distance_km(c) < 150.0
-                    ]
-                    if pool:
-                        answer = rng.choice(sorted(pool, key=lambda c: c.key)).key
-                    else:
-                        answer = router.city_key
+        routers = [
+            router
+            for isp in topology.providers()
+            for router in topology.routers_of(isp)
+        ]
+        if rng_contract == RNG_CONTRACT_V1:
+            rng = random.Random(seed)
+            pick = lambda pool, index: rng.choice(pool)  # noqa: E731
+        else:
+            draws = geo_unit_draws(seed, len(routers))
+            pick = lambda pool, index: pool[  # noqa: E731
+                int(draws[index] * len(pool))
+            ]
+        for index, router in enumerate(routers):
+            u = _stable_unit(f"geo|{router.ip}|{seed}")
+            if u < accuracy:
+                answer: Optional[str] = router.city_key
+            elif u < accuracy + near_miss:
+                true_city = city_by_name(router.city_key)
+                pool = [
+                    c
+                    for c in CITIES
+                    if c.key != true_city.key
+                    and true_city.distance_km(c) < 150.0
+                ]
+                if pool:
+                    answer = pick(sorted(pool, key=lambda c: c.key), index).key
                 else:
-                    answer = None
-                self._entries[router.ip] = answer
+                    answer = router.city_key
+            else:
+                answer = None
+            self._entries[router.ip] = answer
 
     def locate(self, ip: str) -> Optional[str]:
         """City key for *ip*, or ``None`` when the database has no answer."""

@@ -1,0 +1,623 @@
+"""RNG contract v2: counter-based, batch-vectorized trace streams.
+
+Contract v1 (the historical default) gives every trace index a private
+``random.Random(blake2b(f"{seed}:{index}"))`` stream.  That preserves
+order independence, but constructing the hash and the Mersenne state
+costs ~14.5 µs per trace — a Python floor that no amount of sharding
+removes once the columnar pipeline made everything after the draws
+vectorized.
+
+Contract v2 keeps the *property* (every draw's position depends only on
+``(seed, purpose, round, trace index)``) but moves the streams onto
+counter-based :class:`numpy.random.Philox` generators so a shard
+materializes the draws for thousands of traces in a handful of numpy
+calls.  The stream specification (normative; see DESIGN §14):
+
+* A **stream** is ``Philox(key=[seed mod 2**64, purpose << 32 | sub])``
+  with the counter starting at zero.  Positions within a stream are
+  counted in Philox counter *blocks*; one block yields exactly
+  ``BLOCK_DRAWS = 4`` float64 uniforms (``Generator.random``'s
+  consumption order), and ``Philox.advance(k)`` seeks to block ``k``.
+* **ENDPOINT** streams (``purpose=1``, ``sub=r`` for redraw round
+  ``r``): trace index ``i`` owns block ``i`` — four uniforms consumed
+  as (client-ISP, dest-ISP, client-city, dest-city).  A weighted pick
+  maps a uniform ``u`` onto cumulative weights ``cum`` as
+  ``bisect_right(cum, u * cum[-1])`` clamped to the last entry — the
+  same semantics as contract v1's ``_pick``.  A degenerate draw
+  (identical endpoints) or an unreachable pair moves the trace to
+  round ``r + 1``; the retry budget is :data:`MAX_ATTEMPTS_PER_TRACE`
+  rounds, as in v1.
+* The **NOISE** stream (``purpose=2``, ``sub=0``): trace index ``i``
+  owns blocks ``[i * 16, (i + 1) * 16)`` — ``HOP_NOISE_BUDGET = 64``
+  unit uniforms, of which visible hop ``j`` consumes slot ``j``.  The
+  RTT of hop ``j`` is ``double_cum[j] + QUEUE_NOISE_MS * u_j`` exactly
+  as in v1's vectorized finish.  A path with more than 64 visible hops
+  is a contract violation (raised, never truncated); the deepest path
+  in any shipped topology is far below the budget.
+* The **GEO** stream (``purpose=3``, ``sub=0``): enumeration index
+  ``i`` of the geolocation build (sorted providers, each provider's
+  sorted routers) owns block ``i``; slot 0 picks the near-miss city as
+  ``pool[floor(u * len(pool))]`` over the sorted candidate pool.
+
+Because positions are absolute, serial and sharded campaigns are
+byte-identical at every worker count and batch size by construction —
+the property the fault-tolerance ladder (shard replay) and the sweep
+layer rely on.
+
+Versioning rules: a change to any stream definition, draw order, pick
+semantics, or budget above is a **new contract version**, never an
+in-place edit — v1 and v2 artifacts must never collide, so the version
+is threaded through ``CampaignConfig``, stage cache keys, shard
+manifests, and npz payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+import numpy as np
+from numpy.random import Generator, Philox
+
+from repro.perf.routing import _NO_PREDECESSOR
+from repro.traceroute.columns import TRACE_DTYPE, ColumnSchema, TraceColumns
+from repro.traceroute.probe import ACCESS_DELAY_MS, QUEUE_NOISE_MS, ProbeEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.traceroute.campaign import CampaignConfig, _CampaignPlan
+
+#: The supported RNG contract versions.
+RNG_CONTRACT_V1 = 1
+RNG_CONTRACT_V2 = 2
+SUPPORTED_RNG_CONTRACTS = (RNG_CONTRACT_V1, RNG_CONTRACT_V2)
+
+#: Retry budget within one trace's private stream: degenerate draws
+#: (same endpoint, unreachable pair) are redrawn — from the same
+#: Mersenne stream under v1, from the next round's Philox stream under
+#: v2 — which keeps every trace independent of all others.
+MAX_ATTEMPTS_PER_TRACE = 128
+
+#: float64 uniforms per Philox counter block (what ``advance(1)`` skips).
+BLOCK_DRAWS = 4
+#: Noise blocks owned by one trace; ``* BLOCK_DRAWS`` slots of budget.
+HOP_NOISE_BLOCKS = 16
+#: Per-trace visible-hop budget of the v2 noise stream.
+HOP_NOISE_BUDGET = HOP_NOISE_BLOCKS * BLOCK_DRAWS
+
+#: Traces materialized per vectorized batch.  Never affects the column
+#: bytes (stream positions are absolute trace indices).
+DEFAULT_BATCH_SIZE = 8192
+
+_MASK64 = (1 << 64) - 1
+_PURPOSE_ENDPOINT = 1
+_PURPOSE_NOISE = 2
+_PURPOSE_GEO = 3
+
+_SLOT = np.arange(HOP_NOISE_BUDGET)
+
+
+def default_rng_contract() -> int:
+    """The contract version new configs default to.
+
+    ``REPRO_RNG_CONTRACT`` overrides (the rng-compat CI job runs the
+    golden suite under ``REPRO_RNG_CONTRACT=1``); otherwise v2.
+    """
+    raw = os.environ.get("REPRO_RNG_CONTRACT", "").strip()
+    if not raw:
+        return RNG_CONTRACT_V2
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RNG_CONTRACT must be an integer, got {raw!r}"
+        ) from None
+    if value not in SUPPORTED_RNG_CONTRACTS:
+        raise ValueError(
+            f"REPRO_RNG_CONTRACT must be one of "
+            f"{SUPPORTED_RNG_CONTRACTS}, got {value}"
+        )
+    return value
+
+
+def _stream(
+    seed: int, purpose: int, sub: int, block_offset: int = 0
+) -> Generator:
+    """The v2 stream ``(seed, purpose, sub)`` positioned at a block."""
+    key = np.array(
+        [seed & _MASK64, ((purpose & 0xFFFFFFFF) << 32) | (sub & 0xFFFFFFFF)],
+        dtype=np.uint64,
+    )
+    bits = Philox(key=key)
+    if block_offset:
+        bits.advance(int(block_offset))
+    return Generator(bits)
+
+
+def _pick_indices(cum: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Vectorized v1 ``_pick``: ``bisect(cum, u * cum[-1])`` clamped."""
+    idx = np.searchsorted(cum, u * cum[-1], side="right")
+    return np.minimum(idx, len(cum) - 1)
+
+
+def _pick_index(cum: List[float], u: float) -> int:
+    """Scalar twin of :func:`_pick_indices` (same float64 arithmetic)."""
+    return bisect(cum, u * cum[-1], 0, len(cum) - 1)
+
+
+class _PlanTables:
+    """The campaign plan's sampling tables as numpy arrays, plus the
+    endpoint-pair coding the template store is keyed on.
+
+    Node ``gid``s are global (shared by the client and dest sides), so
+    ``client_gid[cn] == dest_gid[dn]`` is exactly v1's degenerate-pair
+    test (same city *and* same ISP).
+    """
+
+    def __init__(self, plan: "_CampaignPlan"):
+        self.client_cum = np.asarray(plan.client_cum, dtype=np.float64)
+        self.dest_cum = np.asarray(plan.dest_cum, dtype=np.float64)
+        gid_of: Dict[Tuple[str, str], int] = {}
+
+        def build_side(names, tables):
+            city_cums: List[np.ndarray] = []
+            bases: List[int] = []
+            nodes: List[Tuple[str, str]] = []
+            gids: List[int] = []
+            for isp in names:
+                cities, cum = tables[isp]
+                bases.append(len(nodes))
+                city_cums.append(np.asarray(cum, dtype=np.float64))
+                for city in cities:
+                    node = (isp, city)
+                    nodes.append(node)
+                    gids.append(gid_of.setdefault(node, len(gid_of)))
+            return city_cums, np.asarray(bases), nodes, np.asarray(gids)
+
+        (self.client_city_cum, self.client_base,
+         self.client_nodes, self.client_gid) = build_side(
+            plan.client_names, plan.client_cities
+        )
+        (self.dest_city_cum, self.dest_base,
+         self.dest_nodes, self.dest_gid) = build_side(
+            plan.dest_names, plan.dest_cities
+        )
+        self.n_dest_nodes = len(self.dest_nodes)
+
+
+class _CoreTables:
+    """Vectorized views of the routing core for batch template building.
+
+    Per-node schema ids and MPLS flags indexed by core node number, the
+    stacked predecessor rows of every campaign destination, and a flat
+    sorted ``(u * n + v) -> weight`` edge table, so a whole batch of
+    new endpoint pairs becomes a handful of fancy-indexing calls.
+    """
+
+    def __init__(self, engine: ProbeEngine, tables: _PlanTables):
+        core = engine._core
+        topology = engine._topology
+        schema = engine.column_schema()
+        nodes = core._nodes
+        n = len(nodes)
+        self.n_nodes = n
+        self.router_id = np.empty(n, dtype=np.int32)
+        self.isp_id = np.empty(n, dtype=np.int32)
+        self.city_id = np.empty(n, dtype=np.int32)
+        self.mpls = np.zeros(n, dtype=bool)
+        mpls_of: Dict[str, bool] = {}
+        for i, (isp, city) in enumerate(nodes):
+            self.router_id[i] = schema.router_index[(isp, city)]
+            self.isp_id[i] = schema.isp_index[isp]
+            self.city_id[i] = schema.city_index[city]
+            flag = mpls_of.get(isp)
+            if flag is None:
+                flag = mpls_of[isp] = topology.uses_mpls(isp)
+            self.mpls[i] = flag
+        index = core._index
+
+        def core_of(node: Tuple[str, str]) -> int:
+            # Mirror the scalar builder's precheck: a node without a
+            # router is unreachable even if it appears in the graph.
+            if not topology.has_router(*node):
+                return -1
+            return index.get(node, -1)
+
+        self.client_core = np.array(
+            [core_of(node) for node in tables.client_nodes], dtype=np.int64
+        )
+        self.dest_core = np.array(
+            [core_of(node) for node in tables.dest_nodes], dtype=np.int64
+        )
+        core.prepare(tables.dest_nodes)
+        no_pred = np.full(n, _NO_PREDECESSOR, dtype=np.int32)
+        self.pred = np.stack(
+            [
+                np.asarray(core._pred[int(ci)], dtype=np.int32)
+                if ci >= 0 else no_pred
+                for ci in self.dest_core
+            ]
+        )
+        matrix = core._matrix.tocsr()
+        matrix.sort_indices()
+        self.edge_key = (
+            np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(matrix.indptr)
+            ) * n + matrix.indices
+        )
+        self.edge_w = matrix.data.astype(np.float64)
+
+
+class _TemplateStore:
+    """Hop templates as padded 2-D rows, for vectorized assembly.
+
+    Each resolved endpoint pair owns one row: its visible-hop router
+    ids and doubled cumulative latencies padded to
+    :data:`HOP_NOISE_BUDGET` columns, its hop count (``-1`` marks an
+    unreachable pair), and its four schema endpoint ids.  Rows are
+    built in vectorized batches against the routing core — or, without
+    scipy, one at a time from the engine's per-pair template cache; the
+    two builders are bit-identical because a row-wise ``cumsum`` over
+    the path's edge weights replays the scalar path's sequential
+    left-to-right latency accumulation exactly — and rows persist
+    across batches and shards within a worker.
+    """
+
+    def __init__(self) -> None:
+        self._row_of: Dict[int, int] = {}
+        cap = 1024
+        self.router_pad = np.zeros((cap, HOP_NOISE_BUDGET), dtype=np.int32)
+        self.cum_pad = np.zeros((cap, HOP_NOISE_BUDGET), dtype=np.float64)
+        self.counts = np.full(cap, -1, dtype=np.int64)
+        self.endpoints = np.zeros((cap, 4), dtype=np.int32)
+        self._used = 0
+
+    def _reserve(self, count: int) -> np.ndarray:
+        """Row ids for ``count`` new templates, growing the arrays."""
+        cap = len(self.counts)
+        while self._used + count > cap:
+            cap *= 2
+        if cap != len(self.counts):
+            for name in ("router_pad", "cum_pad", "counts", "endpoints"):
+                old = getattr(self, name)
+                new = np.zeros((cap,) + old.shape[1:], dtype=old.dtype)
+                new[: len(old)] = old
+                if name == "counts":
+                    new[len(old):] = -1
+                setattr(self, name, new)
+        rows = np.arange(self._used, self._used + count, dtype=np.int64)
+        self._used += count
+        return rows
+
+    def _check_budget(self, max_hops: int) -> None:
+        if max_hops > HOP_NOISE_BUDGET:
+            raise RuntimeError(
+                f"a path has {max_hops} visible hops; RNG contract v2 "
+                f"budgets {HOP_NOISE_BUDGET} noise slots per trace"
+            )
+
+    def _build_rows_scalar(
+        self, engine: ProbeEngine, tables: _PlanTables, codes: np.ndarray
+    ) -> None:
+        """Reference builder (no scipy): one engine template per pair."""
+        rows = self._reserve(len(codes))
+        for row, code in zip(rows.tolist(), codes.tolist()):
+            cn, dn = divmod(code, tables.n_dest_nodes)
+            template = engine._hop_template(
+                tables.client_nodes[cn], tables.dest_nodes[dn]
+            )
+            self._row_of[code] = row
+            if template is False:
+                continue
+            k = len(template.router_ids)
+            self._check_budget(k)
+            self.counts[row] = k
+            self.router_pad[row, :k] = template.router_ids
+            self.cum_pad[row, :k] = template.double_cum
+            self.endpoints[row] = (
+                template.src_city_id,
+                template.src_isp_id,
+                template.dst_city_id,
+                template.dst_isp_id,
+            )
+
+    def _build_rows_vectorized(
+        self, ct: _CoreTables, tables: _PlanTables, codes: np.ndarray
+    ) -> None:
+        """All of ``codes``' templates in one pass over the core arrays."""
+        rows = self._reserve(len(codes))
+        self._row_of.update(zip(codes.tolist(), rows.tolist()))
+        cn, dn = np.divmod(codes, tables.n_dest_nodes)
+        src = ct.client_core[cn]
+        dst = ct.dest_core[dn]
+        reach = (src >= 0) & (dst >= 0)
+        safe_src = np.where(src >= 0, src, 0)
+        reach &= ct.pred[dn, safe_src] != _NO_PREDECESSOR
+        ridx = np.flatnonzero(reach)
+        if not ridx.size:
+            return
+        src_r, dst_r, drow_r = src[ridx], dst[ridx], dn[ridx]
+        # Walk every pair's predecessor chain simultaneously; finished
+        # pairs hold at their destination while stragglers keep walking.
+        frontier = src_r.copy()
+        cols = [frontier]
+        done = frontier == dst_r
+        for _ in range(ct.n_nodes):
+            if done.all():
+                break
+            frontier = np.where(done, frontier, ct.pred[drow_r, frontier])
+            cols.append(frontier)
+            done = frontier == dst_r
+        else:  # pragma: no cover - cycle guard
+            raise RuntimeError("predecessor walk did not terminate")
+        paths = np.stack(cols, axis=1)
+        length = paths.shape[1]
+        # Real steps vs hold-at-destination padding.
+        valid = np.ones(paths.shape, dtype=bool)
+        valid[:, 1:] = paths[:, 1:] != paths[:, :-1]
+        path_len = valid.sum(axis=1)
+        # cumsum([access/2, w1, w2, ...]) replays the scalar builder's
+        # sequential partial sums bit for bit.
+        weights = np.zeros(paths.shape, dtype=np.float64)
+        weights[:, 0] = ACCESS_DELAY_MS / 2.0
+        if length > 1:
+            step = valid[:, 1:]
+            keys = paths[:, :-1][step] * ct.n_nodes + paths[:, 1:][step]
+            pos = np.searchsorted(ct.edge_key, keys)
+            if not np.array_equal(ct.edge_key[pos], keys):
+                raise RuntimeError("path step without a graph edge")
+            weights[:, 1:][step] = ct.edge_w[pos]
+        one_way = np.cumsum(weights, axis=1)
+        # MPLS edge visibility: a hop is hidden only strictly inside an
+        # MPLS provider's segment (not first/last, same ISP both sides).
+        isp = ct.isp_id[paths]
+        prev_differs = np.ones(paths.shape, dtype=bool)
+        prev_differs[:, 1:] = isp[:, 1:] != isp[:, :-1]
+        next_differs = np.ones(paths.shape, dtype=bool)
+        next_differs[:, :-1] = isp[:, :-1] != isp[:, 1:]
+        position = np.arange(length)
+        visible = valid & (
+            ~ct.mpls[paths]
+            | (position == 0)[None, :]
+            | (position[None, :] == (path_len - 1)[:, None])
+            | prev_differs
+            | next_differs
+        )
+        counts = visible.sum(axis=1)
+        self._check_budget(int(counts.max(initial=0)))
+        # Compact the visible hops into the padded store rows.
+        vr, vc = np.nonzero(visible)
+        starts = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        slot = np.arange(len(vr)) - np.repeat(starts, counts)
+        target = rows[ridx]
+        self.counts[target] = counts
+        self.router_pad[target[vr], slot] = ct.router_id[paths[vr, vc]]
+        self.cum_pad[target[vr], slot] = 2.0 * one_way[vr, vc]
+        self.endpoints[target, 0] = ct.city_id[src_r]
+        self.endpoints[target, 1] = ct.isp_id[src_r]
+        self.endpoints[target, 2] = ct.city_id[dst_r]
+        self.endpoints[target, 3] = ct.isp_id[dst_r]
+
+    def rows_for(
+        self,
+        engine: ProbeEngine,
+        tables: _PlanTables,
+        core_tables: "_CoreTables | None",
+        codes: np.ndarray,
+    ) -> np.ndarray:
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        known = np.array(
+            [self._row_of.get(code, -1) for code in uniq.tolist()],
+            dtype=np.int64,
+        )
+        missing = np.flatnonzero(known < 0)
+        if missing.size:
+            new = uniq[missing]
+            if core_tables is not None:
+                self._build_rows_vectorized(core_tables, tables, new)
+            else:
+                self._build_rows_scalar(engine, tables, new)
+            lookup = self._row_of
+            for j in missing.tolist():
+                known[j] = lookup[int(uniq[j])]
+        return known[inverse]
+
+
+def _v2_state(
+    engine: ProbeEngine, plan: "_CampaignPlan"
+) -> Tuple[_PlanTables, "_CoreTables | None", _TemplateStore]:
+    """Per-(engine, plan) vectorization state, cached on the engine so
+    it persists across the batches and shards one worker processes."""
+    state = getattr(engine, "_rngv2_state", None)
+    if state is None or state[0] is not plan:
+        tables = _PlanTables(plan)
+        core_tables = (
+            _CoreTables(engine, tables) if engine._core is not None else None
+        )
+        state = (plan, tables, core_tables, _TemplateStore())
+        engine._rngv2_state = state
+    return state[1], state[2], state[3]
+
+
+def _batch_columns(
+    engine: ProbeEngine,
+    tables: _PlanTables,
+    core_tables: "_CoreTables | None",
+    store: _TemplateStore,
+    config: "CampaignConfig",
+    schema: ColumnSchema,
+    b0: int,
+    b1: int,
+) -> TraceColumns:
+    """The columns of traces ``[b0, b1)``, fully vectorized."""
+    n = b1 - b0
+    seed = config.seed
+    rows = np.full(n, -1, dtype=np.int64)
+    unresolved = np.arange(n, dtype=np.int64)
+    for rnd in range(MAX_ATTEMPTS_PER_TRACE):
+        # One contiguous draw covering the unresolved span; round 0
+        # covers the whole batch, later rounds shrink to the stragglers.
+        lo = int(unresolved[0])
+        hi = int(unresolved[-1]) + 1
+        u = _stream(seed, _PURPOSE_ENDPOINT, rnd, b0 + lo).random(
+            BLOCK_DRAWS * (hi - lo)
+        ).reshape(-1, BLOCK_DRAWS)[unresolved - lo]
+        ci = _pick_indices(tables.client_cum, u[:, 0])
+        di = _pick_indices(tables.dest_cum, u[:, 1])
+        cn = np.empty(len(unresolved), dtype=np.int64)
+        dn = np.empty(len(unresolved), dtype=np.int64)
+        for k, cum in enumerate(tables.client_city_cum):
+            m = ci == k
+            if m.any():
+                cn[m] = tables.client_base[k] + _pick_indices(cum, u[m, 2])
+        for k, cum in enumerate(tables.dest_city_cum):
+            m = di == k
+            if m.any():
+                dn[m] = tables.dest_base[k] + _pick_indices(cum, u[m, 3])
+        distinct = tables.client_gid[cn] != tables.dest_gid[dn]
+        codes = cn[distinct] * tables.n_dest_nodes + dn[distinct]
+        cand_rows = store.rows_for(engine, tables, core_tables, codes)
+        reached = store.counts[cand_rows] >= 0
+        hit = np.flatnonzero(distinct)[reached]
+        rows[unresolved[hit]] = cand_rows[reached]
+        keep = np.ones(len(unresolved), dtype=bool)
+        keep[hit] = False
+        unresolved = unresolved[keep]
+        if unresolved.size == 0:
+            break
+    else:
+        raise RuntimeError(
+            f"traces {b0}..{b1}: no reachable (src, dst) pair after "
+            f"{MAX_ATTEMPTS_PER_TRACE} draws; topology too disconnected"
+        )
+    counts = store.counts[rows]
+    noise = _stream(
+        seed, _PURPOSE_NOISE, 0, b0 * HOP_NOISE_BLOCKS
+    ).random(n * HOP_NOISE_BUDGET).reshape(n, HOP_NOISE_BUDGET)
+    # Assembly only touches the first ``width`` slots (the deepest path
+    # in the batch); the stream still *owns* all 64 positions per
+    # trace, so the bytes are independent of this working-set trim.
+    width = int(counts.max(initial=0))
+    mask = _SLOT[:width] < counts[:, None]
+    # rtt = 2*one_way + noise, slot by slot — float64-identical to the
+    # v1 writer's fused ``cum + scale * noise``.
+    rtt_pad = np.take(store.cum_pad[:, :width], rows, axis=0)
+    rtt_pad += QUEUE_NOISE_MS * noise[:, :width]
+    hop_rtt = rtt_pad[mask]
+    hop_router = np.take(store.router_pad[:, :width], rows, axis=0)[mask]
+    hop_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=hop_offsets[1:])
+    traces = np.zeros(n, dtype=TRACE_DTYPE)
+    endpoints = store.endpoints[rows]
+    traces["src_city"] = endpoints[:, 0]
+    traces["src_isp"] = endpoints[:, 1]
+    traces["dst_city"] = endpoints[:, 2]
+    traces["dst_isp"] = endpoints[:, 3]
+    traces["reached"] = True
+    return TraceColumns(
+        schema, traces, hop_offsets, hop_router, hop_rtt,
+        rng_contract=RNG_CONTRACT_V2,
+    )
+
+
+def generate_columns_v2(
+    engine: ProbeEngine,
+    plan: "_CampaignPlan",
+    config: "CampaignConfig",
+    start: int,
+    stop: int,
+) -> TraceColumns:
+    """Trace indices ``[start, stop)`` as columns under contract v2.
+
+    The vectorized twin of the v1 per-index writer loop: identical
+    output for any split into shards or batches, because every stream
+    position derives from the absolute trace index.
+    """
+    tables, core_tables, store = _v2_state(engine, plan)
+    schema = engine.column_schema()
+    batch = max(1, config.batch_size)
+    parts = [
+        _batch_columns(
+            engine, tables, core_tables, store, config, schema,
+            b0, min(b0 + batch, stop),
+        )
+        for b0 in range(start, stop, batch)
+    ]
+    if len(parts) == 1:
+        return parts[0]
+    if not parts:
+        return TraceColumns(
+            schema,
+            np.zeros(0, dtype=TRACE_DTYPE),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.float64),
+            rng_contract=RNG_CONTRACT_V2,
+        )
+    return TraceColumns.concatenate(schema, parts)
+
+
+def trace_record_v2(
+    engine: ProbeEngine,
+    plan: "_CampaignPlan",
+    config: "CampaignConfig",
+    index: int,
+) -> "Any":
+    """The v2 record for one trace index — the scalar reference
+    implementation of the batch path, draw-compatible by construction
+    (used by the legacy object view and the parity tests)."""
+    from repro.traceroute.probe import Hop, TracerouteRecord
+
+    seed = config.seed
+    for rnd in range(MAX_ATTEMPTS_PER_TRACE):
+        u = _stream(seed, _PURPOSE_ENDPOINT, rnd, index).random(BLOCK_DRAWS)
+        src_isp = plan.client_names[_pick_index(plan.client_cum, u[0])]
+        dst_isp = plan.dest_names[_pick_index(plan.dest_cum, u[1])]
+        cities, cum = plan.client_cities[src_isp]
+        src_city = cities[_pick_index(cum, u[2])]
+        cities, cum = plan.dest_cities[dst_isp]
+        dst_city = cities[_pick_index(cum, u[3])]
+        if src_city == dst_city and src_isp == dst_isp:
+            continue
+        template = engine._hop_template(
+            (src_isp, src_city), (dst_isp, dst_city)
+        )
+        if template is False:
+            continue
+        k = len(template.router_ids)
+        noise = _stream(
+            seed, _PURPOSE_NOISE, 0, index * HOP_NOISE_BLOCKS
+        ).random(HOP_NOISE_BUDGET)[:k]
+        rtts = template.double_cum + QUEUE_NOISE_MS * noise
+        schema = engine.column_schema()
+        hops = tuple(
+            Hop(
+                ip=schema.router_ips[r],
+                dns_name=schema.router_dns[r],
+                rtt_ms=float(rtts[j]),
+            )
+            for j, r in enumerate(template.router_ids.tolist())
+        )
+        return TracerouteRecord(
+            src_city=src_city,
+            src_isp=src_isp,
+            dst_city=dst_city,
+            dst_isp=dst_isp,
+            hops=hops,
+            reached=True,
+        )
+    raise RuntimeError(
+        f"trace {index}: no reachable (src, dst) pair after "
+        f"{MAX_ATTEMPTS_PER_TRACE} draws; topology too disconnected"
+    )
+
+
+def geo_unit_draws(seed: int, count: int) -> np.ndarray:
+    """Slot-0 uniforms of the GEO stream for enumeration indices
+    ``[0, count)`` (the geolocation database's near-miss picks)."""
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    return _stream(seed, _PURPOSE_GEO, 0).random(
+        BLOCK_DRAWS * count
+    ).reshape(-1, BLOCK_DRAWS)[:, 0]

@@ -64,6 +64,7 @@ class TestScenarioConfig:
             "workers": 2,
             "cache": str(tmp_path),
             "family": "us2015",
+            "rng_contract": config.rng_contract,
         }
 
 
